@@ -1,0 +1,56 @@
+"""Ablation: the first-hop-load mechanism behind the selenium anomaly.
+
+DESIGN.md design decision 2 (and the paper's Section 4.2.1): PT servers
+beat vanilla Tor *because they are less loaded*, not because of the PT
+machinery. If we equalise loads — giving the obfs4 bridge the same
+background load as a volunteer guard — the advantage must disappear.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.aggregate import mean_by_pt
+from repro.core.config import WorldConfig
+from repro.core.world import World
+from repro.measure.campaign import CampaignRunner
+from repro.measure.ethics import PacingPolicy
+from repro.measure.records import Method
+from repro.simnet.background import VOLUNTEER_GUARD_LOAD
+
+_FAST = PacingPolicy(gap_between_accesses_s=0.5, batch_size=0)
+_N_SITES = 30
+
+
+def _selenium_means(seed: int, *, equalise_loads: bool) -> dict[str, float]:
+    world = World(WorldConfig(seed=seed, transports=("tor", "obfs4"),
+                              tranco_size=_N_SITES, cbl_size=2))
+    if equalise_loads:
+        bridge = world.transport("obfs4").bridge
+        # Volunteer load scales with capacity (bandwidth-weighted
+        # selection), so emulate a volunteer of the bridge's size.
+        from repro.simnet.background import LoadModel
+        from repro.units import mbit
+        bridge.spec.load_model = LoadModel(
+            mean=VOLUNTEER_GUARD_LOAD.mean
+            * bridge.bandwidth_bps / mbit(100))
+    runner = CampaignRunner(world, pacing=_FAST)
+    results = runner.run_website_campaign(
+        ["tor", "obfs4"], world.tranco[:_N_SITES],
+        method=Method.SELENIUM, repetitions=1)
+    return mean_by_pt(results, method=Method.SELENIUM)
+
+
+def test_ablation_first_hop_load(benchmark):
+    def run():
+        normal = _selenium_means(77, equalise_loads=False)
+        equalised = _selenium_means(77, equalise_loads=True)
+        return normal, equalised
+
+    normal, equalised = benchmark.pedantic(run, rounds=1, iterations=1)
+    advantage_normal = normal["tor"] - normal["obfs4"]
+    advantage_equalised = equalised["tor"] - equalised["obfs4"]
+    print(f"\nobfs4 advantage with managed bridge:   {advantage_normal:6.2f}s")
+    print(f"obfs4 advantage with volunteer load:   {advantage_equalised:6.2f}s")
+    # Normally obfs4 wins clearly; with equalised load the advantage
+    # collapses (the PT machinery itself costs ~nothing).
+    assert advantage_normal > 1.0
+    assert advantage_equalised < 0.5 * advantage_normal

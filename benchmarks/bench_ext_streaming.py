@@ -1,0 +1,43 @@
+"""Extension bench: media streaming (the paper's future work, A.4).
+
+Not a paper figure — the paper explicitly defers streaming — but the
+natural next column for its Table-1-style campaign. Asserts that the
+paper's bulk-download findings carry over to the streaming use case.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WorldConfig
+from repro.core.world import World
+from repro.web.streaming import standard_audio
+
+from benchmarks.conftest import BENCH_SEED
+
+_PTS = ("tor", "obfs4", "cloak", "webtunnel", "dnstt", "camoufler",
+        "marionette", "snowflake")
+
+
+def test_ext_streaming_audio(benchmark):
+    def run():
+        world = World(WorldConfig(seed=BENCH_SEED, snowflake_surge=1.0,
+                                  transports=_PTS, tranco_size=2, cbl_size=2))
+        audio = standard_audio()
+        return {pt: world.stream_media(pt, audio) for pt in _PTS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\naudio streaming (180s @ 128kbit):")
+    for pt, r in sorted(results.items(), key=lambda kv: kv[1].stall_ratio):
+        startup = f"{r.startup_delay_s:5.1f}s" if r.startup_delay_s else "    -"
+        print(f"  {pt:10s} startup={startup} stalls={r.stall_count:3d} "
+              f"delivered={r.fraction_delivered:4.0%} smooth={r.smooth}")
+
+    # Fully-encrypted/low-overhead transports stream smoothly...
+    for pt in ("obfs4", "cloak", "webtunnel"):
+        assert results[pt].smooth, pt
+    # ...while the rate-capped/high-latency ones stall or die.
+    assert results["camoufler"].stall_count > 0 or \
+        not results["camoufler"].completed
+    assert results["marionette"].stall_count > 0 or \
+        not results["marionette"].completed
+    # Snowflake's proxy churn kills long sessions under load.
+    assert not results["snowflake"].completed

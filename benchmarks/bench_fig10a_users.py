@@ -1,0 +1,12 @@
+"""Figure 10a: snowflake user timeline around the Iran protests."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig10a_user_timeline(benchmark):
+    result = run_figure(benchmark, "fig10a")
+    m = result.metrics
+    assert m["users:2022-09"] > 3 * m["users:2022-08"]
+    assert m["users:2022-10"] < m["users:2022-09"]
+    assert m["users:2023-03"] == max(
+        v for k, v in m.items() if k.startswith("users:"))

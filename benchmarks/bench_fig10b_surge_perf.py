@@ -1,0 +1,11 @@
+"""Figure 10b: snowflake performance before/after September 2022."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig10b_surge_performance(benchmark):
+    result = run_figure(benchmark, "fig10b")
+    m = result.metrics
+    # Paper: mean rose from 3.42s to 4.77s (significant).
+    assert m["mean:post"] > m["mean:pre"]
+    assert m["mean_increase"] > 0.4

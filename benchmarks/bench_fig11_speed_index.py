@@ -1,0 +1,12 @@
+"""Figure 11: speed index via browsertime."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig11_speed_index(benchmark):
+    result = run_figure(benchmark, "fig11")
+    m = result.metrics
+    assert m["si_below_load_everywhere"] == 1.0
+    # Ordering consistent with selenium: meek/marionette worst.
+    assert m["si:meek"] > m["si:obfs4"]
+    assert m["si:marionette"] > m["si:tor"]

@@ -1,0 +1,8 @@
+"""Figure 12: weekly snowflake monitoring in March 2023."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig12_weekly_monitoring(benchmark):
+    result = run_figure(benchmark, "fig12")
+    assert result.metrics["all_weeks_above_pre"] == 1.0

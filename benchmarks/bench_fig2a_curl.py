@@ -1,0 +1,14 @@
+"""Figure 2a: website access time via curl."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig2a_curl_website_access(benchmark):
+    result = run_figure(benchmark, "fig2a")
+    means = result.metrics
+    # Paper shape: marionette worst, camoufler worst tunneling,
+    # obfs4 at or below vanilla Tor.
+    assert means["marionette"] == max(means.values())
+    assert means["camoufler"] > means["webtunnel"]
+    assert means["obfs4"] <= means["tor"] + 0.3
+    assert means["meek"] > means["snowflake"]

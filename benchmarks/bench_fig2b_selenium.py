@@ -1,0 +1,13 @@
+"""Figure 2b: website access time via selenium."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig2b_selenium_website_access(benchmark):
+    result = run_figure(benchmark, "fig2b")
+    means = result.metrics
+    # The paper's headline anomaly: obfs4/webtunnel/conjure beat Tor.
+    for pt in ("obfs4", "webtunnel", "conjure"):
+        assert means[pt] < means["tor"], pt
+    assert "camoufler" not in means  # no selenium support
+    assert means["meek"] > means["snowflake"] > means["conjure"]

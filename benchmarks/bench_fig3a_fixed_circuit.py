@@ -1,0 +1,11 @@
+"""Figure 3a: fixed circuit -- Tor vs obfs4 vs webtunnel."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig3a_fixed_circuit(benchmark):
+    result = run_figure(benchmark, "fig3a")
+    means = [result.metrics[f"mean:{pt}"]
+             for pt in ("tor", "obfs4", "webtunnel")]
+    # Identical first hop => nearly identical distributions.
+    assert max(means) - min(means) < 0.35 * min(means)

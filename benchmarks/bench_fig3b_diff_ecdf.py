@@ -1,0 +1,9 @@
+"""Figure 3b: ECDF of per-site |PT - Tor| on fixed circuits."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig3b_diff_ecdf(benchmark):
+    result = run_figure(benchmark, "fig3b")
+    # Paper: >80% of per-site differences are below 5 seconds.
+    assert result.metrics["frac_below_5s"] > 0.75

@@ -1,0 +1,9 @@
+"""Figure 4: fixed guard, variable middle/exit -- Tor vs obfs4."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig4_fixed_guard(benchmark):
+    result = run_figure(benchmark, "fig4")
+    # Same first hop => same performance despite varying middle/exits.
+    assert 0.75 < result.metrics["ratio"] < 1.25

@@ -1,0 +1,16 @@
+"""Figure 5: file download time by size."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig5_file_download(benchmark):
+    result = run_figure(benchmark, "fig5")
+    m = result.metrics
+    # Sizes increase monotonically for the reliable fast transports.
+    for pt in ("obfs4", "cloak"):
+        assert m[f"{pt}:file-50mb"] > m[f"{pt}:file-10mb"], pt
+    # camoufler roughly 2-4x obfs4 (paper: ~3x).
+    ratio = m["camoufler:file-50mb"] / m["obfs4:file-50mb"]
+    assert 1.5 < ratio < 6.0
+    # The unreliable trio never qualifies for the large files.
+    assert "meek:file-100mb" not in m

@@ -1,0 +1,12 @@
+"""Figure 6: time-to-first-byte ECDF."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig6_ttfb(benchmark):
+    result = run_figure(benchmark, "fig6")
+    m = result.metrics
+    for pt in ("tor", "obfs4", "cloak", "dnstt"):
+        assert m[f"below5:{pt}"] > 0.7, pt
+    assert m["above20:marionette"] > 0.15
+    assert m["below5:camoufler"] < 0.5

@@ -1,0 +1,11 @@
+"""Figure 7: location variation for meek, obfs4, snowflake."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig7_locations(benchmark):
+    result = run_figure(benchmark, "fig7")
+    m = result.metrics
+    assert m["meek_slowest_everywhere"] == 1.0
+    # Asia clients pay extra: relays live in EU/NA (paper Section 4.5).
+    assert m["bangalore_over_london"] > 1.05

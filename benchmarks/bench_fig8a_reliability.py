@@ -1,0 +1,12 @@
+"""Figure 8a: complete/partial/failed download fractions."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig8a_reliability(benchmark):
+    result = run_figure(benchmark, "fig8a")
+    m = result.metrics
+    for pt in ("meek", "dnstt", "snowflake"):
+        assert m[f"incomplete:{pt}"] > 0.7, pt
+    for pt in ("obfs4", "cloak"):
+        assert m[f"incomplete:{pt}"] < 0.2, pt

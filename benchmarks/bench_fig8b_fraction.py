@@ -1,0 +1,14 @@
+"""Figure 8b: ECDF of the fraction of each file downloaded."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig8b_fraction_downloaded(benchmark):
+    result = run_figure(benchmark, "fig8b")
+    m = result.metrics
+    # Paper: snowflake delivers <40% of the file in ~60% of attempts;
+    # meek and dnstt get further before dying; few complete anywhere.
+    assert m["below40pct:snowflake"] > 0.35
+    assert m["below40pct:snowflake"] > m["below40pct:dnstt"] - 0.15
+    for pt in ("meek", "dnstt", "snowflake"):
+        assert m[f"complete:{pt}"] < 0.45, pt

@@ -1,0 +1,14 @@
+"""Figure 9: isolated PT overhead vs vanilla Tor."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig9_overhead(benchmark):
+    result = run_figure(benchmark, "fig9")
+    m = result.metrics
+    # Marionette is the only PT with unmistakable overhead (paper: its
+    # average access time exceeded 30s).
+    mario = m["overhead:marionette"]
+    assert mario > 8.0
+    for pt in ("obfs4", "webtunnel", "cloak", "shadowsocks"):
+        assert abs(m[f"overhead:{pt}"]) < 0.4 * mario, pt

@@ -1,0 +1,11 @@
+"""Section 4.7: wired vs wireless client access."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_medium_change(benchmark):
+    result = run_figure(benchmark, "medium")
+    # Paper: no observable change in trends when switching medium.
+    for key, value in result.metrics.items():
+        if key.startswith("ratio:"):
+            assert 0.7 < value < 1.5, key

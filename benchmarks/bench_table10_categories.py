@@ -1,0 +1,13 @@
+"""Table 10: paired t-tests between PT categories."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_table10_category_ttests(benchmark):
+    result = run_figure(benchmark, "table10")
+    m = result.metrics
+    # Fully-encrypted beats mimicry and tunneling (negative diffs).
+    assert m["diff:fully encrypted-mimicry"] < 0
+    assert m["diff:fully encrypted-tunneling"] < 0
+    assert m["diff:proxy layer-tunneling"] < 0
+    assert m["diff:mimicry-Tor"] > 0

@@ -1,0 +1,10 @@
+"""Table 1: overview of measurement types."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_table1_overview(benchmark):
+    result = run_figure(benchmark, "table1")
+    # The scaled campaign covers every measurement type the paper lists.
+    assert len(result.metrics) == 8
+    assert all(v > 0 for v in result.metrics.values())

@@ -1,0 +1,9 @@
+"""Table 2: the 28-PT survey."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_table2_catalog(benchmark):
+    result = run_figure(benchmark, "table2")
+    assert result.metrics["total"] == 28
+    assert result.metrics["evaluated"] == 12

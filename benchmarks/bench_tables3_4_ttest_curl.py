@@ -1,0 +1,13 @@
+"""Tables 3-4: paired t-tests for curl website access."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_tables3_4_ttests(benchmark):
+    result = run_figure(benchmark, "tables3_4")
+    # Sign agreement with the paper for every reported pair.
+    for key, paper_value in result.paper.items():
+        measured = result.metrics.get(key)
+        assert measured is not None, key
+        if abs(paper_value) > 2.0:  # clear-cut pairs must agree in sign
+            assert measured * paper_value > 0, (key, paper_value, measured)

@@ -1,0 +1,12 @@
+"""Tables 5-6: paired t-tests for selenium website access."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_tables5_6_ttests(benchmark):
+    result = run_figure(benchmark, "tables5_6")
+    for key, paper_value in result.paper.items():
+        measured = result.metrics.get(key)
+        assert measured is not None, key
+        if abs(paper_value) > 3.0:
+            assert measured * paper_value > 0, (key, paper_value, measured)

@@ -1,0 +1,12 @@
+"""Tables 8-9: paired t-tests on the speed index."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_tables8_9_speed_index_ttests(benchmark):
+    result = run_figure(benchmark, "tables8_9")
+    for key, paper_value in result.paper.items():
+        measured = result.metrics.get(key)
+        assert measured is not None, key
+        if abs(paper_value) > 3.0:
+            assert measured * paper_value > 0, (key, paper_value, measured)

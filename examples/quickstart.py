@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Quickstart: compare a few pluggable transports in one minute.
+
+Builds a deterministic measurement world, accesses a sample of websites
+through vanilla Tor and three PTs the way the paper's harness does with
+curl, and prints the comparison — then reproduces one of the paper's
+figures end-to-end.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import PTPerf
+
+
+def main() -> None:
+    perf = PTPerf(seed=1)
+
+    print("Mean website access time (curl-style, 20 sites x 2 accesses):")
+    means = perf.website_access(["tor", "obfs4", "meek", "snowflake"],
+                                n_sites=20, repetitions=2)
+    for pt, mean in sorted(means.items(), key=lambda kv: kv[1]):
+        bar = "#" * int(mean * 4)
+        print(f"  {pt:10s} {mean:6.2f}s  {bar}")
+
+    print("\nReproducing Figure 2a (curl website access, all 12 PTs):")
+    result = perf.run("fig2a")
+    print(result.text)
+    print("\nPaper vs measured:")
+    print(result.comparison())
+
+
+if __name__ == "__main__":
+    main()

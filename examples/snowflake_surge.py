@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The snowflake surge: how the Iran protests changed PT performance.
+
+Replays the paper's Section 5.3 analysis: the user-count timeline around
+September 2022, snowflake's website access time before and after the
+surge, and the effect of server load on bulk-download reliability.
+
+Run:
+    python examples/snowflake_surge.py
+"""
+
+from repro import PTPerf, World, WorldConfig
+from repro.analysis import paired_t_test, render_table
+from repro.measure import (
+    SNOWFLAKE_USER_TIMELINE,
+    post_september_level,
+    pre_september_level,
+)
+from repro.web.types import Status
+
+
+def user_timeline() -> None:
+    print("Snowflake users around the Iran protests (Figure 10a):")
+    peak = max(p.users for p in SNOWFLAKE_USER_TIMELINE)
+    for point in SNOWFLAKE_USER_TIMELINE:
+        bar = "#" * int(40 * point.users / peak)
+        print(f"  {point.month}  {point.users:>8,}  {bar}")
+
+
+def access_time_comparison() -> None:
+    perf = PTPerf(seed=11)
+    pre = perf.website_access(["snowflake"], n_sites=40, repetitions=2,
+                              snowflake_surge=pre_september_level())
+    post = perf.website_access(["snowflake"], n_sites=40, repetitions=2,
+                               snowflake_surge=post_september_level())
+    print("\nWebsite access time via snowflake (Figure 10b):")
+    print(render_table(
+        ["period", "mean (s)"],
+        [["pre-September 2022", pre["snowflake"]],
+         ["post-September 2022", post["snowflake"]]]))
+    print(f"  (paper: 3.42s -> 4.77s, significant at P<.001)")
+
+
+def file_reliability_under_load() -> None:
+    print("\n5 MB download attempts under load (paper: 8/10 failed post-surge):")
+    rows = []
+    for label, surge in (("pre-surge", pre_september_level()),
+                         ("post-surge", post_september_level())):
+        world = World(WorldConfig(seed=13, snowflake_surge=surge,
+                                  transports=("tor", "snowflake"),
+                                  tranco_size=2, cbl_size=2))
+        outcomes = []
+        for _ in range(10):
+            result = world.download_file("snowflake", world.files[0])
+            outcomes.append(result.status)
+        ok = sum(1 for s in outcomes if s is Status.COMPLETE)
+        rows.append([label, f"{ok}/10", f"{10 - ok}/10"])
+    print(render_table(["period", "complete", "incomplete"], rows))
+
+
+def main() -> None:
+    user_timeline()
+    access_time_comparison()
+    file_reliability_under_load()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no network access and no `wheel` package, so the
+PEP 517 editable path is unavailable; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

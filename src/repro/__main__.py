@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show every reproducible table/figure;
+* ``run <experiment-id> [...]`` — regenerate experiments and print the
+  paper-vs-measured comparison;
+* ``compare <pt> [<pt> ...]`` — quick website-access comparison.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig2a fig5 --seed 7 --scale small
+    python -m repro compare tor obfs4 meek --sites 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import Scale
+from repro.core.experiments import EXPERIMENTS, list_experiments
+from repro.core.ptperf import PTPerf
+
+_SCALES = {"tiny": Scale.tiny, "small": Scale.small, "paper": Scale.paper}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(d.experiment_id) for d in list_experiments())
+    for definition in list_experiments():
+        print(f"{definition.experiment_id:<{width}}  "
+              f"[{definition.paper_ref:<12}]  {definition.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    unknown = [eid for eid in args.experiments if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    perf = PTPerf(seed=args.seed, scale=_SCALES[args.scale]())
+    experiments = args.experiments or list(EXPERIMENTS)
+    for eid in experiments:
+        result = perf.run(eid)
+        header = f"{eid}: {result.title} ({EXPERIMENTS[eid].paper_ref})"
+        print(f"\n{header}\n{'=' * len(header)}")
+        print(result.text)
+        print("\npaper vs measured:")
+        print(result.comparison())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    perf = PTPerf(seed=args.seed)
+    means = perf.website_access(args.pts, n_sites=args.sites,
+                                repetitions=args.repetitions)
+    width = max(len(pt) for pt in means)
+    for pt, mean in sorted(means.items(), key=lambda kv: kv[1]):
+        print(f"{pt:<{width}}  {mean:6.2f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PTPerf reproduction: Tor pluggable-transport "
+                    "performance over a deterministic simulator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables/figures")
+
+    run = sub.add_parser("run", help="run experiments by id")
+    run.add_argument("experiments", nargs="*",
+                     help="experiment ids (default: all)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--scale", choices=sorted(_SCALES), default="small")
+
+    compare = sub.add_parser("compare", help="quick PT comparison")
+    compare.add_argument("pts", nargs="+", help="transport names")
+    compare.add_argument("--sites", type=int, default=20)
+    compare.add_argument("--repetitions", type=int, default=2)
+    compare.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "compare": _cmd_compare}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

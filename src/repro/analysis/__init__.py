@@ -1,0 +1,28 @@
+"""Statistical analysis: paired t-tests, ECDFs, box stats, tables."""
+
+from repro.analysis.aggregate import (
+    box_by_pt,
+    category_ttests,
+    ecdf_by_pt,
+    mean_by_pt,
+    reliability_by_pt,
+    ttest_matrix,
+)
+from repro.analysis.boxstats import BoxStats
+from repro.analysis.ecdf import ECDF
+from repro.analysis.stats import PairedTTest, SummaryStats, paired_t_test, summary
+from repro.analysis.tables import (
+    comparison_rows,
+    format_p,
+    render_table,
+    ttest_table,
+)
+from repro.analysis.tdist import incomplete_beta, t_ppf, t_sf, t_two_sided_p
+
+__all__ = [
+    "BoxStats", "ECDF", "PairedTTest", "SummaryStats", "box_by_pt",
+    "category_ttests", "comparison_rows", "ecdf_by_pt", "format_p",
+    "incomplete_beta", "mean_by_pt", "paired_t_test", "reliability_by_pt",
+    "render_table", "summary", "t_ppf", "t_sf", "t_two_sided_p",
+    "ttest_matrix", "ttest_table",
+]

@@ -1,0 +1,103 @@
+"""Aggregation helpers bridging result sets and the statistics layer."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Mapping, Optional
+
+from repro.analysis.boxstats import BoxStats
+from repro.analysis.ecdf import ECDF
+from repro.analysis.stats import PairedTTest, paired_t_test
+from repro.measure.records import Method, ResultSet
+
+
+def box_by_pt(results: ResultSet, *, value: str = "duration_s",
+              method: Optional[Method] = None) -> dict[str, BoxStats]:
+    """Per-PT box statistics of per-target means (box-plot figures)."""
+    out = {}
+    for pt in results.pts():
+        means = results.per_target_means(pt, value, method)
+        if means:
+            out[pt] = BoxStats.from_values(list(means.values()))
+    return out
+
+
+def mean_by_pt(results: ResultSet, *, value: str = "duration_s",
+               method: Optional[Method] = None) -> dict[str, float]:
+    """Per-PT mean over per-target means."""
+    out = {}
+    for pt in results.pts():
+        means = results.per_target_means(pt, value, method)
+        if means:
+            out[pt] = statistics.fmean(means.values())
+    return out
+
+
+def ttest_matrix(results: ResultSet, *, value: str = "duration_s",
+                 method: Optional[Method] = None,
+                 pairs: Optional[list[tuple[str, str]]] = None,
+                 ) -> dict[str, PairedTTest]:
+    """Paired t-tests for PT pairs (the paper's appendix tables).
+
+    Default pairs: every unordered combination of transports present.
+    Keys are "A-B" strings in the paper's style.
+    """
+    pts = results.pts()
+    if pairs is None:
+        pairs = [(a, b) for i, a in enumerate(pts) for b in pts[i + 1:]]
+    tests = {}
+    for a, b in pairs:
+        xs, ys = results.paired_values(a, b, value, method)
+        if len(xs) >= 2:
+            tests[f"{a.capitalize()}-{b.capitalize()}"] = paired_t_test(xs, ys)
+    return tests
+
+
+def category_ttests(results: ResultSet, *, value: str = "duration_s",
+                    method: Optional[Method] = None) -> dict[str, PairedTTest]:
+    """Paired t-tests between PT *categories* (Table 10).
+
+    Per target, each category's value is the mean over its member PTs;
+    the baseline category is reported as "Tor".
+    """
+    by_category: dict[str, dict[str, list[float]]] = {}
+    for pt in results.pts():
+        category = next(iter(results.filter(pt=pt))).category
+        label = "Tor" if category == "baseline" else category
+        means = results.per_target_means(pt, value, method)
+        bucket = by_category.setdefault(label, {})
+        for target, mean in means.items():
+            bucket.setdefault(target, []).append(mean)
+
+    reduced = {
+        label: {t: statistics.fmean(vs) for t, vs in targets.items()}
+        for label, targets in by_category.items()
+    }
+    labels = list(reduced)
+    tests = {}
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            common = [t for t in reduced[a] if t in reduced[b]]
+            if len(common) >= 2:
+                xs = [reduced[a][t] for t in common]
+                ys = [reduced[b][t] for t in common]
+                tests[f"{a}-{b}"] = paired_t_test(xs, ys)
+    return tests
+
+
+def ecdf_by_pt(results: ResultSet, *, value: str = "ttfb_s",
+               ) -> dict[str, ECDF]:
+    """Per-PT ECDF over raw record values (TTFB/fraction figures)."""
+    out = {}
+    for pt, group in results.by_pt().items():
+        values = [getattr(r, value) for r in group
+                  if getattr(r, value) is not None]
+        if values:
+            out[pt] = ECDF.from_values(values)
+    return out
+
+
+def reliability_by_pt(results: ResultSet) -> dict[str, Mapping]:
+    """Per-PT complete/partial/failed fractions (Figure 8a)."""
+    return {pt: group.status_fractions()
+            for pt, group in results.by_pt().items()}

@@ -1,0 +1,72 @@
+"""Box-plot statistics (Figures 2a, 2b, 3a, 5, 7, 10b, 11, 12)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (matplotlib's default)."""
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    pos = q * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary + mean, as a box plot would draw it."""
+
+    n: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxStats":
+        if not values:
+            raise ValueError("cannot summarise an empty sample")
+        xs = sorted(values)
+        q1 = _quantile(xs, 0.25)
+        q3 = _quantile(xs, 0.75)
+        iqr = q3 - q1
+        lo_fence = q1 - 1.5 * iqr
+        hi_fence = q3 + 1.5 * iqr
+        in_fence = [x for x in xs if lo_fence <= x <= hi_fence]
+        # Whiskers never retreat inside the box (possible when every
+        # point below the interpolated q1 is fenced out as an outlier).
+        whisker_low = min(min(in_fence), q1) if in_fence else xs[0]
+        whisker_high = max(max(in_fence), q3) if in_fence else xs[-1]
+        return cls(
+            n=len(xs),
+            mean=statistics.fmean(xs),
+            median=_quantile(xs, 0.5),
+            q1=q1,
+            q3=q3,
+            whisker_low=whisker_low,
+            whisker_high=whisker_high,
+            outliers=len(xs) - len(in_fence),
+        )
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def row(self) -> dict:
+        """A plain-dict row for table rendering."""
+        return {
+            "n": self.n, "mean": self.mean, "median": self.median,
+            "q1": self.q1, "q3": self.q3,
+            "whisker_low": self.whisker_low, "whisker_high": self.whisker_high,
+            "outliers": self.outliers,
+        }

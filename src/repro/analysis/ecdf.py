@@ -1,0 +1,61 @@
+"""Empirical CDFs (Figures 3b, 6, 8b of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """An empirical cumulative distribution function."""
+
+    xs: tuple[float, ...]  # sorted sample values
+    ps: tuple[float, ...]  # cumulative probabilities at each value
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ECDF":
+        if not values:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        xs = tuple(sorted(values))
+        n = len(xs)
+        ps = tuple((i + 1) / n for i in range(n))
+        return cls(xs=xs, ps=ps)
+
+    @property
+    def n(self) -> int:
+        return len(self.xs)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        lo, hi = 0, len(self.xs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.xs[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self.xs)
+
+    def fraction_below(self, x: float) -> float:
+        """Alias of :meth:`evaluate`, reads naturally in reports."""
+        return self.evaluate(x)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value with CDF >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        import math
+        index = max(0, math.ceil(q * len(self.xs)) - 1)
+        return self.xs[index]
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """Downsampled (x, p) pairs for compact textual plots."""
+        if self.n <= points:
+            return list(zip(self.xs, self.ps))
+        step = self.n / points
+        out = []
+        for i in range(points):
+            idx = min(self.n - 1, int(round((i + 1) * step)) - 1)
+            out.append((self.xs[idx], self.ps[idx]))
+        return out

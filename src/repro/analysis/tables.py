@@ -1,0 +1,70 @@
+"""Plain-text table rendering for bench/experiment output.
+
+Keeps the exact column set the paper's appendix uses for t-test tables
+(CI bounds, t, P, mean diff) and a generic fixed-width renderer for
+everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import PairedTTest
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
+                 precision: int = 3) -> str:
+    """Fixed-width ASCII table."""
+    text_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_p(p: float) -> str:
+    """The paper's P-value convention."""
+    if p < 0.001:
+        return "<.001"
+    return f"{p:.2f}" if p >= 0.01 else f"{p:.3f}"
+
+
+def ttest_table(results: Mapping[str, PairedTTest]) -> str:
+    """Render a paper-style t-test table ("PT Pair | CI | t | P | diff")."""
+    headers = ["PT Pair", "CI Lower", "CI Upper", "t-value", "P-value",
+               "Mean diff."]
+    rows = []
+    for pair, test in results.items():
+        rows.append([pair, f"{test.ci_low:.3f}", f"{test.ci_high:.3f}",
+                     f"{test.t:.3f}", format_p(test.p),
+                     f"{test.mean_diff:.3f}"])
+    return render_table(headers, rows)
+
+
+def comparison_rows(paper: Mapping[str, float], measured: Mapping[str, float],
+                    *, label_paper: str = "paper",
+                    label_measured: str = "measured") -> str:
+    """Side-by-side paper-vs-measured table used by every bench."""
+    headers = ["key", label_paper, label_measured, "ratio"]
+    rows = []
+    for key in paper:
+        p = paper[key]
+        m = measured.get(key)
+        ratio = (m / p) if (m is not None and p) else None
+        rows.append([key, p, m, ratio])
+    return render_table(headers, rows, precision=2)

@@ -1,0 +1,104 @@
+"""Student's t distribution, implemented from first principles.
+
+The paper's statistical machinery is the paired t-test; we implement
+the t survival function through the regularised incomplete beta
+function (continued-fraction evaluation, Numerical Recipes style) so
+the analysis layer has no hard scipy dependency. The test suite
+cross-checks every path against ``scipy.stats``.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MAX_ITER = 300
+_EPS = 3e-14
+_FPMIN = 1e-300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return h
+    return h  # converged close enough for our df ranges
+
+
+def incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularised incomplete beta I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+                + a * math.log(x) + b * math.log1p(-x))
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def t_sf(t: float, df: float) -> float:
+    """Survival function P(T > t) for Student's t with ``df`` dof."""
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if math.isinf(t):
+        return 0.0 if t > 0 else 1.0
+    x = df / (df + t * t)
+    p = 0.5 * incomplete_beta(df / 2.0, 0.5, x)
+    return p if t >= 0 else 1.0 - p
+
+
+def t_two_sided_p(t: float, df: float) -> float:
+    """Two-sided p-value for an observed t statistic."""
+    return min(1.0, 2.0 * t_sf(abs(t), df))
+
+
+def t_ppf(q: float, df: float) -> float:
+    """Quantile (inverse CDF) via bisection on the survival function.
+
+    Accurate to ~1e-10, plenty for confidence intervals.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    if q == 0.5:
+        return 0.0
+    # CDF(t) = q  <=>  sf(t) = 1 - q
+    target_sf = 1.0 - q
+    lo, hi = -1e6, 1e6
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if t_sf(mid, df) > target_sf:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

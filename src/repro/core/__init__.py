@@ -1,0 +1,17 @@
+"""Core: world construction, experiment registry, and the PTPerf facade."""
+
+from repro.core.config import Scale, WorldConfig
+from repro.core.experiments import (
+    EXPERIMENTS,
+    ExperimentDef,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from repro.core.ptperf import PTPerf
+from repro.core.world import World
+
+__all__ = [
+    "EXPERIMENTS", "ExperimentDef", "ExperimentResult", "PTPerf", "Scale",
+    "World", "WorldConfig", "list_experiments", "run_experiment",
+]

@@ -1,0 +1,96 @@
+"""The PTPerf facade: the library's high-level entry point.
+
+Typical usage::
+
+    from repro import PTPerf
+
+    perf = PTPerf(seed=1)
+
+    # Quick one-off comparisons
+    means = perf.website_access(["tor", "obfs4", "meek"], n_sites=30)
+
+    # Reproduce any figure or table from the paper
+    result = perf.run("fig2a")
+    print(result.text)
+    print(result.comparison())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import Scale, WorldConfig
+from repro.core.experiments import (
+    EXPERIMENTS,
+    ExperimentDef,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.world import World
+from repro.measure.campaign import CampaignRunner
+from repro.measure.ethics import PacingPolicy
+from repro.measure.records import Method, ResultSet
+from repro.pts.registry import ALL_TRANSPORTS
+
+
+class PTPerf:
+    """High-level API over the whole reproduction."""
+
+    def __init__(self, seed: int = 1, *, scale: Optional[Scale] = None) -> None:
+        self.seed = seed
+        self.scale = scale or Scale.small()
+
+    # -- experiment registry --------------------------------------------
+
+    @staticmethod
+    def list_experiments() -> list[ExperimentDef]:
+        """Every reproducible table/figure with its paper reference."""
+        return list(EXPERIMENTS.values())
+
+    def run(self, experiment_id: str, *,
+            scale: Optional[Scale] = None) -> ExperimentResult:
+        """Run one of the paper's experiments by id (e.g. ``"fig2a"``)."""
+        return run_experiment(experiment_id, seed=self.seed,
+                              scale=scale or self.scale)
+
+    def run_all(self, *, scale: Optional[Scale] = None,
+                ) -> dict[str, ExperimentResult]:
+        """Run every registered experiment (the full reproduction)."""
+        return {eid: self.run(eid, scale=scale) for eid in EXPERIMENTS}
+
+    # -- ad-hoc measurement ------------------------------------------------
+
+    def make_world(self, **config_overrides) -> World:
+        """A fresh world with this facade's seed (overrides applied)."""
+        config_overrides.setdefault("seed", self.seed)
+        return World(WorldConfig(**config_overrides))
+
+    def website_access(self, pts: Iterable[str] = ALL_TRANSPORTS, *,
+                       n_sites: int = 30, repetitions: int = 2,
+                       method: Method = Method.CURL,
+                       **config_overrides) -> dict[str, float]:
+        """Mean website access time per transport (seconds)."""
+        pts = tuple(pts)
+        config_overrides.setdefault("transports", pts)
+        config_overrides.setdefault("tranco_size", max(n_sites, 2))
+        world = self.make_world(**config_overrides)
+        runner = CampaignRunner(world, pacing=PacingPolicy(
+            gap_between_accesses_s=0.5, batch_size=0))
+        results = runner.run_website_campaign(
+            pts, world.tranco[:n_sites], method=method,
+            repetitions=repetitions)
+        return {pt: group.mean_duration()
+                for pt, group in results.by_pt().items()}
+
+    def file_download(self, pts: Iterable[str] = ALL_TRANSPORTS, *,
+                      attempts: int = 5,
+                      **config_overrides) -> ResultSet:
+        """Bulk-download records for the paper's five file sizes."""
+        pts = tuple(pts)
+        config_overrides.setdefault("transports", pts)
+        config_overrides.setdefault("tranco_size", 2)
+        config_overrides.setdefault("cbl_size", 2)
+        world = self.make_world(**config_overrides)
+        runner = CampaignRunner(world, pacing=PacingPolicy(
+            gap_between_accesses_s=0.5, batch_size=0))
+        return runner.run_file_campaign(pts, world.files, attempts=attempts)

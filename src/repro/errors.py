@@ -1,0 +1,69 @@
+"""Exception hierarchy for the PTPerf reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+downstream users can catch a single type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation was violated."""
+
+
+class TransferAborted(ReproError):
+    """A fluid-network transfer was aborted before completion.
+
+    Attributes:
+        bytes_done: number of payload bytes delivered before the abort.
+        reason: short machine-readable reason string (e.g. ``"timeout"``,
+            ``"channel-failure"``, ``"proxy-churn"``).
+    """
+
+    def __init__(self, bytes_done: float, reason: str = "aborted") -> None:
+        super().__init__(f"transfer aborted after {bytes_done:.0f} bytes ({reason})")
+        self.bytes_done = bytes_done
+        self.reason = reason
+
+
+class ProcessTimeout(ReproError):
+    """A simulated process exceeded its wall-clock timeout."""
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(f"process timed out after {timeout_s:.1f}s")
+        self.timeout_s = timeout_s
+
+
+class ChannelFailed(ReproError):
+    """A pluggable-transport channel failed mid-session.
+
+    Mirrors the real-world failure modes of PTs that the paper quantifies
+    in its reliability analysis (Section 4.6): proxy churn, rate-limit
+    stalls, connection resets.
+    """
+
+    def __init__(self, reason: str, bytes_done: float = 0.0) -> None:
+        super().__init__(f"channel failed: {reason}")
+        self.reason = reason
+        self.bytes_done = bytes_done
+
+
+class ConfigError(ReproError):
+    """An experiment or world configuration is invalid."""
+
+
+class CircuitError(ReproError):
+    """A Tor circuit could not be constructed or used."""
+
+
+class UnknownTransportError(ReproError):
+    """A pluggable transport name was not found in the registry."""
+
+    def __init__(self, name: str, known: list[str]) -> None:
+        super().__init__(f"unknown pluggable transport {name!r}; known: {', '.join(known)}")
+        self.name = name
+        self.known = known

@@ -1,0 +1,41 @@
+"""Measurement harness: campaigns, records, locations, pacing, surge."""
+
+from repro.measure.campaign import CampaignRunner
+from repro.measure.ethics import DEFAULT_PACING, OVERLOAD_PACING, PacingPolicy
+from repro.measure.locations import (
+    LocationCell,
+    location_matrix,
+    mean_by_client,
+    ordering_by_cell,
+)
+from repro.measure.monitoring import (
+    Anomaly,
+    LongTermMonitor,
+    ProbeSample,
+    iran_protest_schedule,
+)
+from repro.measure.records import (
+    MeasurementRecord,
+    Method,
+    ResultSet,
+    TargetKind,
+)
+from repro.measure.surge import (
+    POST_SEPTEMBER_MONTHS,
+    PRE_SEPTEMBER_MONTHS,
+    SNOWFLAKE_USER_TIMELINE,
+    SurgePoint,
+    post_september_level,
+    pre_september_level,
+    surge_level_for,
+)
+
+__all__ = [
+    "Anomaly", "CampaignRunner", "DEFAULT_PACING", "LocationCell",
+    "LongTermMonitor", "MeasurementRecord", "Method", "OVERLOAD_PACING",
+    "POST_SEPTEMBER_MONTHS", "PRE_SEPTEMBER_MONTHS", "PacingPolicy",
+    "ProbeSample", "ResultSet", "SNOWFLAKE_USER_TIMELINE", "SurgePoint",
+    "TargetKind", "iran_protest_schedule", "location_matrix",
+    "mean_by_client", "ordering_by_cell", "post_september_level",
+    "pre_september_level", "surge_level_for",
+]

@@ -1,0 +1,119 @@
+"""The measurement campaign runner.
+
+Drives a :class:`~repro.core.world.World` through the paper's
+measurement types (Table 1): website downloads via curl and selenium,
+bulk file downloads, speed-index runs via browsertime, and the derived
+reliability statistics. Every individual access produces a
+:class:`~repro.measure.records.MeasurementRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.world import World
+from repro.measure.ethics import DEFAULT_PACING, PacingPolicy
+from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+from repro.web.fetch import FILE_TIMEOUT_S, BrowserConfig
+from repro.web.page import FileSpec, PageSpec
+from repro.web.speedindex import speed_index_of
+from repro.web.types import FetchResult
+
+
+@dataclass
+class CampaignRunner:
+    """Runs measurement campaigns against one world."""
+
+    world: World
+    pacing: PacingPolicy = field(default_factory=lambda: DEFAULT_PACING)
+    _measurements_run: int = 0
+
+    # -- internals ------------------------------------------------------
+
+    def _advance_gap(self) -> None:
+        gap = self.pacing.gap_after(self._measurements_run)
+        self._measurements_run += 1
+        self.world.kernel.run(until=self.world.kernel.now + gap)
+
+    def _record(self, pt_name: str, fetch: FetchResult, kind: TargetKind,
+                method: Method, repetition: int,
+                speed_index_s: Optional[float] = None) -> MeasurementRecord:
+        world = self.world
+        transport = world.transport(pt_name)
+        return MeasurementRecord(
+            pt=pt_name,
+            category=transport.category.value,
+            target=fetch.target,
+            kind=kind,
+            method=method,
+            client_city=world.config.client_city.name,
+            server_city=world.config.server_city.name,
+            medium=world.config.medium.value,
+            duration_s=fetch.duration_s,
+            status=fetch.status,
+            bytes_expected=fetch.bytes_expected,
+            bytes_received=fetch.bytes_received,
+            ttfb_s=fetch.ttfb_s,
+            speed_index_s=speed_index_s,
+            sim_time_s=world.kernel.now,
+            repetition=repetition,
+            meta={"failure_reason": fetch.failure_reason}
+            if fetch.failure_reason else {},
+        )
+
+    # -- website campaigns ------------------------------------------------
+
+    def run_website_campaign(self, pt_names: Iterable[str],
+                             pages: Iterable[PageSpec], *,
+                             method: Method = Method.CURL,
+                             repetitions: int = 5,
+                             browser_config: Optional[BrowserConfig] = None,
+                             ) -> ResultSet:
+        """Access each page ``repetitions`` times via each transport.
+
+        Selenium/browsertime methods skip transports that do not support
+        browser automation (camoufler, Section 4.2), exactly like the
+        paper's harness had to.
+        """
+        results = ResultSet()
+        pages = list(pages)
+        for pt_name in pt_names:
+            transport = self.world.transport(pt_name)
+            if method is not Method.CURL and not transport.params.supports_browser:
+                continue
+            for page in pages:
+                for rep in range(repetitions):
+                    if method is Method.CURL:
+                        fetch = self.world.fetch_page_curl(pt_name, page)
+                        si = None
+                    else:
+                        fetch = self.world.fetch_page_browser(
+                            pt_name, page, config=browser_config)
+                        si = speed_index_of(fetch) \
+                            if method is Method.BROWSERTIME else None
+                    results.append(self._record(
+                        pt_name, fetch, TargetKind.WEBSITE, method, rep,
+                        speed_index_s=si))
+                    self._advance_gap()
+        return results
+
+    # -- file campaigns -----------------------------------------------------
+
+    def run_file_campaign(self, pt_names: Iterable[str],
+                          files: Iterable[FileSpec], *,
+                          attempts: int = 10,
+                          timeout_s: float = FILE_TIMEOUT_S,
+                          bootstrap: bool = True) -> ResultSet:
+        """Download each file ``attempts`` times via each transport."""
+        results = ResultSet()
+        files = list(files)
+        for pt_name in pt_names:
+            for file in files:
+                for rep in range(attempts):
+                    fetch = self.world.download_file(
+                        pt_name, file, bootstrap=bootstrap, timeout_s=timeout_s)
+                    results.append(self._record(
+                        pt_name, fetch, TargetKind.FILE, Method.CURL, rep))
+                    self._advance_gap()
+        return results

@@ -1,0 +1,40 @@
+"""Measurement pacing, after the paper's ethics section (Section 5.1).
+
+The authors spread 1.25M measurements over a year so as not to burden
+the volunteer-run Tor network: small batches, gaps between accesses,
+and a daily cap when the snowflake infrastructure was already
+overloaded (100-200/day post-September). The pacing policy reproduces
+those gaps in *simulated* time — which matters, because circuit
+dirtiness, surge timelines, and load resampling are all time-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PacingPolicy:
+    """Gaps applied between simulated measurements."""
+
+    gap_between_accesses_s: float = 2.0
+    batch_size: int = 50
+    gap_between_batches_s: float = 120.0
+    daily_cap: int | None = None  # post-September snowflake caution
+
+    def gap_after(self, index: int) -> float:
+        """Simulated seconds to wait after the ``index``-th measurement."""
+        gap = self.gap_between_accesses_s
+        if self.batch_size > 0 and (index + 1) % self.batch_size == 0:
+            gap += self.gap_between_batches_s
+        if self.daily_cap is not None and (index + 1) % self.daily_cap == 0:
+            gap += 86_400.0  # wait for the next day
+        return gap
+
+
+#: Normal campaign pacing.
+DEFAULT_PACING = PacingPolicy()
+
+#: The cautious post-September snowflake pacing (Section 5.3).
+OVERLOAD_PACING = PacingPolicy(gap_between_accesses_s=10.0, batch_size=20,
+                               gap_between_batches_s=600.0, daily_cap=200)

@@ -1,0 +1,89 @@
+"""Result persistence: CSV and JSON round-trips for result sets.
+
+The paper publishes its measurement data and analysis scripts; this
+module is the equivalent surface for the reproduction — campaigns can be
+exported for external analysis (pandas, R) and reloaded for later
+statistics without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+from repro.web.types import Status
+
+#: Stable column order for CSV export.
+_COLUMNS = (
+    "pt", "category", "target", "kind", "method", "client", "server",
+    "medium", "duration_s", "ttfb_s", "speed_index_s", "status",
+    "bytes_expected", "bytes_received", "repetition",
+)
+
+
+def _record_from_row(row: dict) -> MeasurementRecord:
+    def opt_float(value):
+        if value in (None, "", "None"):
+            return None
+        return float(value)
+
+    return MeasurementRecord(
+        pt=row["pt"],
+        category=row["category"],
+        target=row["target"],
+        kind=TargetKind(row["kind"]),
+        method=Method(row["method"]),
+        client_city=row["client"],
+        server_city=row["server"],
+        medium=row["medium"],
+        duration_s=float(row["duration_s"]),
+        status=Status(row["status"]),
+        bytes_expected=float(row["bytes_expected"]),
+        bytes_received=float(row["bytes_received"]),
+        ttfb_s=opt_float(row.get("ttfb_s")),
+        speed_index_s=opt_float(row.get("speed_index_s")),
+        repetition=int(float(row.get("repetition", 0) or 0)),
+    )
+
+
+def write_csv(results: ResultSet, path: str | Path) -> Path:
+    """Write a result set as CSV (one row per measurement)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_COLUMNS)
+        writer.writeheader()
+        for row in results.to_rows():
+            writer.writerow({col: row.get(col) for col in _COLUMNS})
+    return path
+
+
+def read_csv(path: str | Path) -> ResultSet:
+    """Load a result set previously written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return ResultSet(_record_from_row(row) for row in csv.DictReader(handle))
+
+
+def write_json(results: ResultSet, path: str | Path, *,
+               indent: int | None = None) -> Path:
+    """Write a result set as a JSON array of measurement objects."""
+    path = Path(path)
+    path.write_text(json.dumps(results.to_rows(), indent=indent))
+    return path
+
+
+def read_json(path: str | Path) -> ResultSet:
+    """Load a result set previously written by :func:`write_json`."""
+    rows = json.loads(Path(path).read_text())
+    return ResultSet(_record_from_row(row) for row in rows)
+
+
+def merge(result_sets: Iterable[ResultSet]) -> ResultSet:
+    """Concatenate several result sets (e.g. per-location exports)."""
+    merged = ResultSet()
+    for results in result_sets:
+        merged.extend(results)
+    return merged

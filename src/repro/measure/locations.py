@@ -1,0 +1,76 @@
+"""The 3x3 location matrix study (Section 4.5).
+
+Clients in Bangalore, London, Toronto; servers in Singapore, Frankfurt,
+New York — all nine combinations. Each combination is its own world
+(new vantage point, same seed-derived network), and the paper's
+question is whether the PT *ordering* changes with location (it does
+not) and whether Asian clients pay extra (they do, since relays
+concentrate in Europe/North America).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.config import WorldConfig
+from repro.core.world import World
+from repro.measure.campaign import CampaignRunner
+from repro.measure.records import Method, ResultSet
+from repro.simnet.geo import Cities, City
+
+
+@dataclass(frozen=True)
+class LocationCell:
+    """One client/server combination's results."""
+
+    client: City
+    server: City
+    results: ResultSet
+
+
+def location_matrix(base_config: WorldConfig, pt_names: Iterable[str], *,
+                    n_sites: int = 30, repetitions: int = 2,
+                    clients: list[City] | None = None,
+                    servers: list[City] | None = None) -> list[LocationCell]:
+    """Run the website campaign for every client/server combination."""
+    clients = clients or Cities.client_cities()
+    servers = servers or Cities.server_cities()
+    pt_names = list(pt_names)
+    cells = []
+    for client in clients:
+        for server in servers:
+            config = replace(base_config, client_city=client,
+                             server_city=server)
+            world = World(config)
+            runner = CampaignRunner(world)
+            results = runner.run_website_campaign(
+                pt_names, world.tranco[:n_sites],
+                method=Method.CURL, repetitions=repetitions)
+            cells.append(LocationCell(client=client, server=server,
+                                      results=results))
+    return cells
+
+
+def mean_by_client(cells: list[LocationCell], pt: str) -> dict[str, float]:
+    """Mean access time per client city for one transport (Figure 7)."""
+    sums: dict[str, list[float]] = {}
+    for cell in cells:
+        subset = cell.results.filter(pt=pt)
+        if subset:
+            sums.setdefault(cell.client.name, []).extend(subset.durations())
+    return {city: sum(v) / len(v) for city, v in sums.items()}
+
+
+def ordering_by_cell(cells: list[LocationCell]) -> dict[tuple[str, str], list[str]]:
+    """PT names sorted by mean access time, per location cell.
+
+    The paper's location finding is that this ordering is stable.
+    """
+    orderings = {}
+    for cell in cells:
+        means = {pt: group.mean_duration()
+                 for pt, group in cell.results.by_pt().items()}
+        orderings[(cell.client.name, cell.server.name)] = sorted(
+            means, key=means.get)
+    return orderings

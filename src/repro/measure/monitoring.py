@@ -1,0 +1,148 @@
+"""Long-term PT monitoring (paper future work, A.4).
+
+The paper envisions "periodic performance measurements of deployed PTs
+... integrated with the Tor project for long-term analysis". This module
+implements that monitor over the simulation: weekly probes of each
+transport against a fixed site panel, a rolling baseline, and anomaly
+flagging — the machinery that would have caught the September-2022
+snowflake degradation automatically instead of by coincidence
+(Section 5.3).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.world import World
+from repro.measure.ethics import PacingPolicy
+from repro.measure.records import Method, ResultSet
+from repro.pts.snowflake import Snowflake
+from repro.units import WEEK
+from repro.web.types import Status
+
+_FAST = PacingPolicy(gap_between_accesses_s=0.5, batch_size=0)
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One transport's weekly health summary."""
+
+    week: int
+    pt: str
+    mean_s: float
+    p90_s: float
+    failure_fraction: float
+    n: int
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A week where a transport deviated from its rolling baseline."""
+
+    week: int
+    pt: str
+    mean_s: float
+    baseline_mean_s: float
+    z_score: float
+
+    def describe(self) -> str:
+        return (f"week {self.week}: {self.pt} mean {self.mean_s:.2f}s vs "
+                f"baseline {self.baseline_mean_s:.2f}s (z={self.z_score:.1f})")
+
+
+@dataclass
+class LongTermMonitor:
+    """Weekly probes of a PT panel with anomaly detection.
+
+    ``load_schedule`` maps a week index to a snowflake surge level, so
+    tests and examples can replay the Iran-protest timeline (or any
+    other load scenario) and verify the monitor flags it.
+    """
+
+    world: World
+    pts: tuple[str, ...]
+    n_sites: int = 20
+    repetitions: int = 1
+    load_schedule: Optional[Callable[[int], float]] = None
+    samples: list[ProbeSample] = field(default_factory=list)
+
+    def probe_week(self, week: int) -> list[ProbeSample]:
+        """Run one weekly probe and append its samples."""
+        from repro.measure.campaign import CampaignRunner
+
+        if self.load_schedule is not None:
+            snowflake = self.world.transports.get("snowflake")
+            if isinstance(snowflake, Snowflake):
+                snowflake.set_surge(self.load_schedule(week))
+        runner = CampaignRunner(self.world, pacing=_FAST)
+        results = runner.run_website_campaign(
+            self.pts, self.world.tranco[:self.n_sites],
+            method=Method.CURL, repetitions=self.repetitions)
+        week_samples = [self._summarise(week, pt, group)
+                        for pt, group in results.by_pt().items()]
+        self.samples.extend(week_samples)
+        # Leave a week of simulated time before the next probe.
+        self.world.kernel.run(until=self.world.kernel.now + WEEK)
+        return week_samples
+
+    def run(self, weeks: int) -> list[ProbeSample]:
+        """Probe for ``weeks`` consecutive weeks."""
+        for week in range(weeks):
+            self.probe_week(week)
+        return self.samples
+
+    @staticmethod
+    def _summarise(week: int, pt: str, group: ResultSet) -> ProbeSample:
+        durations = sorted(group.durations())
+        p90 = durations[min(len(durations) - 1, int(0.9 * len(durations)))]
+        failures = group.status_fractions()
+        failed = failures[Status.PARTIAL] + failures[Status.FAILED]
+        return ProbeSample(week=week, pt=pt,
+                           mean_s=statistics.fmean(durations),
+                           p90_s=p90, failure_fraction=failed,
+                           n=len(durations))
+
+    # -- analysis ---------------------------------------------------------
+
+    def history(self, pt: str) -> list[ProbeSample]:
+        return [s for s in self.samples if s.pt == pt]
+
+    def detect_anomalies(self, *, z_threshold: float = 2.5,
+                         min_baseline_weeks: int = 3) -> list[Anomaly]:
+        """Flag weeks whose mean deviates from the rolling baseline.
+
+        The baseline for week *w* is every prior non-flagged week; a
+        week is anomalous when its mean lies more than ``z_threshold``
+        standard deviations above the baseline mean (one-sided: we only
+        care about degradation).
+        """
+        anomalies: list[Anomaly] = []
+        for pt in {s.pt for s in self.samples}:
+            history = sorted(self.history(pt), key=lambda s: s.week)
+            baseline: list[float] = []
+            for sample in history:
+                if len(baseline) >= min_baseline_weeks:
+                    mean = statistics.fmean(baseline)
+                    sd = statistics.stdev(baseline) if len(baseline) > 1 else 0.0
+                    spread = max(sd, 0.05 * mean, 1e-9)
+                    z = (sample.mean_s - mean) / spread
+                    if z > z_threshold:
+                        anomalies.append(Anomaly(
+                            week=sample.week, pt=pt, mean_s=sample.mean_s,
+                            baseline_mean_s=mean, z_score=z))
+                        continue  # degraded weeks don't join the baseline
+                baseline.append(sample.mean_s)
+        return sorted(anomalies, key=lambda a: (a.week, a.pt))
+
+
+def iran_protest_schedule(onset_week: int) -> Callable[[int], float]:
+    """A load schedule replaying the paper's Section 5.3 event."""
+    from repro.measure.surge import post_september_level, pre_september_level
+
+    def schedule(week: int) -> float:
+        return post_september_level() if week >= onset_week \
+            else pre_september_level()
+
+    return schedule

@@ -1,0 +1,226 @@
+"""Measurement records and result sets.
+
+Every individual download — whatever the transport, target, method or
+vantage point — produces one :class:`MeasurementRecord`. A
+:class:`ResultSet` is an ordered collection with the filtering,
+grouping, and pairing operations the analysis layer needs (paired
+t-tests require per-target alignment across transports, exactly like
+the paper's appendix tables).
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.web.types import Status
+
+
+class Method(enum.Enum):
+    """Access method (Table 1's measurement types)."""
+
+    CURL = "curl"
+    SELENIUM = "selenium"
+    BROWSERTIME = "browsertime"
+
+
+class TargetKind(enum.Enum):
+    WEBSITE = "website"
+    FILE = "file"
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One download attempt."""
+
+    pt: str
+    category: str
+    target: str
+    kind: TargetKind
+    method: Method
+    client_city: str
+    server_city: str
+    medium: str
+    duration_s: float
+    status: Status
+    bytes_expected: float
+    bytes_received: float
+    ttfb_s: Optional[float] = None
+    speed_index_s: Optional[float] = None
+    sim_time_s: float = 0.0
+    repetition: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.COMPLETE
+
+    @property
+    def fraction_downloaded(self) -> float:
+        if self.bytes_expected <= 0:
+            return 1.0
+        return min(1.0, self.bytes_received / self.bytes_expected)
+
+
+class ResultSet:
+    """An ordered collection of measurement records."""
+
+    def __init__(self, records: Iterable[MeasurementRecord] = ()) -> None:
+        self.records: list[MeasurementRecord] = list(records)
+
+    # -- collection basics ---------------------------------------------
+
+    def append(self, record: MeasurementRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, other: "ResultSet | Iterable[MeasurementRecord]") -> None:
+        if isinstance(other, ResultSet):
+            self.records.extend(other.records)
+        else:
+            self.records.extend(other)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[MeasurementRecord]:
+        return iter(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    # -- filtering -------------------------------------------------------
+
+    def filter(self, *, pt: Optional[str] = None,
+               method: Optional[Method] = None,
+               kind: Optional[TargetKind] = None,
+               status: Optional[Status] = None,
+               target: Optional[str] = None,
+               category: Optional[str] = None,
+               predicate: Optional[Callable[[MeasurementRecord], bool]] = None,
+               ) -> "ResultSet":
+        """A new ResultSet with records matching every given criterion."""
+        out = []
+        for r in self.records:
+            if pt is not None and r.pt != pt:
+                continue
+            if method is not None and r.method is not method:
+                continue
+            if kind is not None and r.kind is not kind:
+                continue
+            if status is not None and r.status is not status:
+                continue
+            if target is not None and r.target != target:
+                continue
+            if category is not None and r.category != category:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return ResultSet(out)
+
+    # -- grouping --------------------------------------------------------
+
+    def pts(self) -> list[str]:
+        """Distinct transport names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.pt, None)
+        return list(seen)
+
+    def by_pt(self) -> dict[str, "ResultSet"]:
+        groups: dict[str, ResultSet] = {}
+        for r in self.records:
+            groups.setdefault(r.pt, ResultSet()).append(r)
+        return groups
+
+    def targets(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.target, None)
+        return list(seen)
+
+    # -- values ------------------------------------------------------------
+
+    def durations(self) -> list[float]:
+        return [r.duration_s for r in self.records]
+
+    def ttfbs(self) -> list[float]:
+        return [r.ttfb_s for r in self.records if r.ttfb_s is not None]
+
+    def speed_indices(self) -> list[float]:
+        return [r.speed_index_s for r in self.records
+                if r.speed_index_s is not None]
+
+    def fractions_downloaded(self) -> list[float]:
+        return [r.fraction_downloaded for r in self.records]
+
+    def mean_duration(self) -> float:
+        if not self.records:
+            raise ValueError("empty result set")
+        return statistics.fmean(self.durations())
+
+    def median_duration(self) -> float:
+        if not self.records:
+            raise ValueError("empty result set")
+        return statistics.median(self.durations())
+
+    # -- reliability ---------------------------------------------------
+
+    def status_fractions(self) -> dict[Status, float]:
+        """Fraction of records per outcome (Figure 8a's bars)."""
+        if not self.records:
+            return {s: 0.0 for s in Status}
+        n = len(self.records)
+        return {s: sum(1 for r in self.records if r.status is s) / n
+                for s in Status}
+
+    # -- pairing (for paired t-tests) -----------------------------------
+
+    def per_target_means(self, pt: str, value: str = "duration_s",
+                         method: Optional[Method] = None) -> dict[str, float]:
+        """target → mean metric for one transport.
+
+        The paper accesses every website several times and averages per
+        website before testing; this reproduces that reduction.
+        """
+        sums: dict[str, list[float]] = {}
+        for r in self.filter(pt=pt, method=method):
+            v = getattr(r, value)
+            if v is None:
+                continue
+            sums.setdefault(r.target, []).append(v)
+        return {t: statistics.fmean(vs) for t, vs in sums.items()}
+
+    def paired_values(self, pt_a: str, pt_b: str, value: str = "duration_s",
+                      method: Optional[Method] = None,
+                      ) -> tuple[list[float], list[float]]:
+        """Target-aligned per-site means for two transports."""
+        means_a = self.per_target_means(pt_a, value, method)
+        means_b = self.per_target_means(pt_b, value, method)
+        common = [t for t in means_a if t in means_b]
+        return ([means_a[t] for t in common], [means_b[t] for t in common])
+
+    # -- export ------------------------------------------------------------
+
+    def to_rows(self) -> list[dict]:
+        """Plain-dict rows (stable keys) for serialisation/reporting."""
+        return [
+            {
+                "pt": r.pt, "category": r.category, "target": r.target,
+                "kind": r.kind.value, "method": r.method.value,
+                "client": r.client_city, "server": r.server_city,
+                "medium": r.medium, "duration_s": r.duration_s,
+                "ttfb_s": r.ttfb_s, "speed_index_s": r.speed_index_s,
+                "status": r.status.value,
+                "bytes_expected": r.bytes_expected,
+                "bytes_received": r.bytes_received,
+                "repetition": r.repetition,
+            }
+            for r in self.records
+        ]
+
+    def relabel(self, **changes) -> "ResultSet":
+        """Copy with fields overridden on every record (e.g. medium)."""
+        return ResultSet(replace(r, **changes) for r in self.records)

@@ -1,0 +1,77 @@
+"""The snowflake load timeline around the September-2022 Iran protests.
+
+Figure 10a of the paper shows snowflake's user count: a few thousand
+daily users through mid-2022, an abrupt jump when Iran blocked Tor in
+late September, a crash in October (censors fingerprinted snowflake's
+TLS), recovery in November once the fingerprint was fixed, and a high
+plateau into 2023. The timeline below encodes that shape; the surge
+level it induces drives the snowflake transport's bridge load, proxy
+bandwidth, and proxy lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Users at which the snowflake infrastructure is saturated.
+SATURATION_USERS = 100_000
+
+
+@dataclass(frozen=True)
+class SurgePoint:
+    """One month of the user timeline."""
+
+    month: str   # "YYYY-MM"
+    users: int
+
+    @property
+    def surge_level(self) -> float:
+        return min(1.5, self.users / SATURATION_USERS)
+
+
+#: Figure 10a, coarsely: monthly snowflake user estimates.
+SNOWFLAKE_USER_TIMELINE: tuple[SurgePoint, ...] = (
+    SurgePoint("2022-01", 5_000),
+    SurgePoint("2022-02", 6_000),
+    SurgePoint("2022-03", 8_000),
+    SurgePoint("2022-04", 8_500),
+    SurgePoint("2022-05", 9_000),
+    SurgePoint("2022-06", 9_500),
+    SurgePoint("2022-07", 10_000),
+    SurgePoint("2022-08", 11_000),
+    SurgePoint("2022-09", 45_000),    # Iran blocks Tor; users flock in
+    SurgePoint("2022-10", 25_000),    # snowflake TLS fingerprint blocked
+    SurgePoint("2022-11", 80_000),    # fingerprint fixed by maintainers
+    SurgePoint("2022-12", 95_000),
+    SurgePoint("2023-01", 105_000),
+    SurgePoint("2023-02", 115_000),
+    SurgePoint("2023-03", 125_000),
+)
+
+#: The paper's pre/post split point.
+PRE_SEPTEMBER_MONTHS = tuple(p.month for p in SNOWFLAKE_USER_TIMELINE
+                             if p.month < "2022-09")
+POST_SEPTEMBER_MONTHS = tuple(p.month for p in SNOWFLAKE_USER_TIMELINE
+                              if p.month >= "2022-11")  # Oct was unstable
+
+
+def surge_level_for(month: str) -> float:
+    """Surge level (0..1.5) for a timeline month."""
+    for point in SNOWFLAKE_USER_TIMELINE:
+        if point.month == month:
+            return point.surge_level
+    raise KeyError(f"month {month!r} not in the snowflake timeline")
+
+
+def pre_september_level() -> float:
+    """Mean surge level across the calm months."""
+    points = [p for p in SNOWFLAKE_USER_TIMELINE
+              if p.month in PRE_SEPTEMBER_MONTHS]
+    return sum(p.surge_level for p in points) / len(points)
+
+
+def post_september_level() -> float:
+    """Mean surge level across the overloaded months."""
+    points = [p for p in SNOWFLAKE_USER_TIMELINE
+              if p.month in POST_SEPTEMBER_MONTHS]
+    return sum(p.surge_level for p in points) / len(points)

@@ -1,0 +1,61 @@
+"""camoufler — tunneling over instant-messaging applications.
+
+Content rides inside end-to-end-encrypted IM messages (WhatsApp,
+Telegram, …) between the client's IM account and a peer account in an
+uncensored region that runs the proxy. The censor sees only ordinary IM
+traffic. The costs, per the paper:
+
+* IM providers rate-limit API send/receive — camoufler took the longest
+  of all tunneling PTs for websites (12.8 s curl) and the longest bulk
+  downloads (173 s for 50 MB, ~3x obfs4);
+* messages relay through the IM datacentre, adding seconds of
+  per-request latency (TTFB spread 2.5–17.5 s in Figure 6);
+* no support for multiple simultaneous streams — selenium automation
+  could not be evaluated at all (Section 4.2);
+* IM account/login issues make ~10% of sessions fail outright
+  (Figure 8a's "not downloaded at all" bar).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pts.base import ArchSet, Category, Detour, PluggableTransport, PTParams
+from repro.simnet.geo import Cities
+from repro.simnet.resource import Resource
+from repro.tor.client import TorClient
+from repro.units import KB, gbit, mbit
+
+
+class Camoufler(PluggableTransport):
+    name = "camoufler"
+    category = Category.TUNNELING
+    arch_set = ArchSet.SEPARATE_PT_SERVER
+    has_managed_server = False  # requires IM accounts on both ends
+    description = ("Tunnels censored content through E2E-encrypted IM "
+                   "channels; proxy runs behind a peer IM account.")
+    params = PTParams(
+        handshake_rtts=2.0,              # IM login + session to the peer
+        handshake_extra_median_s=1.5,    # account/session warm-up
+        handshake_extra_sigma=0.5,
+        connect_failure_prob=0.09,       # IM login/API refusals
+        request_rtts=2.0,
+        request_extra_median_s=7.2,      # store-and-forward via IM servers
+        request_extra_sigma=0.65,
+        overhead_factor=1.30,            # message envelopes + encoding
+        throughput_cap_bps=380 * KB,     # IM API rate limit (wire bytes)
+        max_parallel_streams=1,          # one message channel
+        supports_browser=False,          # cannot serve selenium's parallelism
+        private_bridge_bandwidth_bps=mbit(100),
+    )
+
+    def __init__(self, params: PTParams | None = None) -> None:
+        super().__init__(params)
+        self._im_resource: Resource | None = None
+
+    def detours(self, client: TorClient, rng: random.Random) -> list[Detour]:
+        # All messages traverse the IM provider's datacentre.
+        if self._im_resource is None:
+            self._im_resource = Resource("im:datacentre", gbit(10),
+                                         background_load=2.0)
+        return [Detour(city=Cities.AMSTERDAM, resource=self._im_resource)]

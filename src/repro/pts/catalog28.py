@@ -1,0 +1,136 @@
+"""The full 28-system survey behind the paper's Table 2.
+
+The paper analysed 28 candidate pluggable transports; only 12 could be
+run and measured. This module captures the comparison table verbatim —
+availability, functionality, integratability, the implementation
+challenges, and the underlying technology — and groups systems by their
+Tor-project adoption status, so Table 2 can be regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AdoptionGroup(enum.Enum):
+    """Tor-project adoption status (Table 2's four sections)."""
+
+    BUNDLED = "PTs bundled in the Tor Browser"
+    UNDER_DEPLOYMENT = "PTs listed by the Tor project and currently under deployment/testing"
+    LISTED_UNDEPLOYED = "PTs listed by the Tor project but undeployed"
+    UNLISTED = "PTs neither listed nor deployed by the Tor Project"
+
+
+@dataclass(frozen=True)
+class PTCatalogEntry:
+    """One row of Table 2."""
+
+    name: str
+    group: AdoptionGroup
+    code_available: bool
+    functional: bool | None       # None = not applicable (no code)
+    integratable: bool | None
+    evaluated: bool | str         # True / False / "partial"
+    challenges: str
+    technology: str
+
+
+_B = AdoptionGroup.BUNDLED
+_D = AdoptionGroup.UNDER_DEPLOYMENT
+_L = AdoptionGroup.LISTED_UNDEPLOYED
+_U = AdoptionGroup.UNLISTED
+
+#: Table 2, row for row.
+CATALOG: tuple[PTCatalogEntry, ...] = (
+    PTCatalogEntry("obfs4", _B, True, True, True, True,
+                   "None", "Random obfuscation"),
+    PTCatalogEntry("meek", _B, True, True, True, True,
+                   "Requires CDN with domain fronting support", "Domain fronting"),
+    PTCatalogEntry("snowflake", _B, True, True, True, True,
+                   "Dependency on domain fronting", "WebRTC"),
+    PTCatalogEntry("dnstt", _D, True, True, True, True,
+                   "None", "DoH/DoT tunneling"),
+    PTCatalogEntry("conjure", _D, True, True, True, True,
+                   "Needs ISP support", "Decoy routing"),
+    PTCatalogEntry("webtunnel", _D, True, True, True, True,
+                   "None", "Tunneling over HTTP"),
+    PTCatalogEntry("torcloak", _D, False, None, None, False,
+                   "N/A", "Tunneling over WebRTC"),
+    PTCatalogEntry("marionette", _L, True, True, True, True,
+                   "Dependency issues (supports only Python 2.7)",
+                   "Network traffic obfuscation"),
+    PTCatalogEntry("shadowsocks", _L, True, True, True, True,
+                   "None", "Network traffic obfuscation"),
+    PTCatalogEntry("stegotorus", _L, True, True, True, True,
+                   "None", "Steganographic obfuscation"),
+    PTCatalogEntry("psiphon", _L, True, True, True, True,
+                   "None", "Proxy-based"),
+    PTCatalogEntry("lantern-lampshade", _L, True, False, False, False,
+                   "Unavailability of ready to deploy code",
+                   "Obfuscated encryption"),
+    PTCatalogEntry("cloak", _U, True, True, True, True,
+                   "None", "Network traffic obfuscation"),
+    PTCatalogEntry("camoufler", _U, True, True, True, True,
+                   "Dependency on IM accounts", "Tunneling over IM application"),
+    PTCatalogEntry("massbrowser", _U, True, True, True, "partial",
+                   "Requires invite-code from authors",
+                   "Domain fronting and browser based proxy"),
+    PTCatalogEntry("protozoa", _U, True, False, False, False,
+                   "Code compilation issues", "Tunneling over WebRTC"),
+    PTCatalogEntry("stegozoa", _U, True, False, False, False,
+                   "Provides basic functionality, sends only text data over sockets",
+                   "Tunneling over WebRTC"),
+    PTCatalogEntry("sweet", _U, True, False, False, False,
+                   "Dependency issues", "Tunneling over emails"),
+    PTCatalogEntry("deltashaper", _U, True, False, False, False,
+                   "Requires Skype version that is no longer supported",
+                   "Tunneling over video"),
+    PTCatalogEntry("rook", _U, True, True, False, False,
+                   "Can only be used for messaging; no proxy support",
+                   "Hiding data using online gaming"),
+    PTCatalogEntry("facet", _U, True, False, False, False,
+                   "Requires Skype version that is no longer supported",
+                   "Tunneling over video"),
+    PTCatalogEntry("mailet", _U, True, True, False, False,
+                   "Can only be used to access Twitter; no proxy support",
+                   "Tunneling over email"),
+    PTCatalogEntry("minecruftpt", _U, True, False, False, False,
+                   "Issues in the source code", "Hiding data using online gaming"),
+    PTCatalogEntry("cloudtransport", _U, False, None, None, False,
+                   "N/A", "Tunneling over cloud"),
+    PTCatalogEntry("covertcast", _U, False, None, None, False,
+                   "N/A", "Tunneling over video"),
+    PTCatalogEntry("freewave", _U, False, None, None, False,
+                   "N/A", "Tunneling over VoIP"),
+    PTCatalogEntry("balboa", _U, False, None, None, False,
+                   "N/A", "Obfuscation based on user-traffic model"),
+    PTCatalogEntry("domain-shadowing", _U, False, None, None, False,
+                   "N/A", "Domain shadowing"),
+)
+
+
+def entries(group: AdoptionGroup | None = None) -> list[PTCatalogEntry]:
+    """All rows, optionally restricted to one adoption group."""
+    if group is None:
+        return list(CATALOG)
+    return [e for e in CATALOG if e.group is group]
+
+
+def evaluated_names() -> list[str]:
+    """Systems the paper could fully measure (12 of 28)."""
+    return [e.name for e in CATALOG if e.evaluated is True]
+
+
+def summary_counts() -> dict[str, int]:
+    """Headline numbers quoted in the paper's conclusion."""
+    total = len(CATALOG)
+    fully = len(evaluated_names())
+    functional = sum(1 for e in CATALOG if e.functional)
+    return {
+        "total": total,
+        "evaluated": fully,
+        "partially_evaluated": sum(1 for e in CATALOG if e.evaluated == "partial"),
+        "non_functional": total - functional,
+        "code_unavailable": sum(1 for e in CATALOG if not e.code_available),
+    }

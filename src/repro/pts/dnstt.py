@@ -1,0 +1,67 @@
+"""dnstt — DNS-over-HTTPS/TLS tunnel (David Fifield).
+
+Traffic hides inside encrypted DNS queries to a public DoH/DoT
+recursive resolver, which forwards them to the dnstt server (an
+authoritative nameserver for the tunnel domain — the paper registered a
+domain and pointed subdomains at its own servers). Two structural
+limits shape performance, both modelled:
+
+* responses through public resolvers are capped (~512 B useful payload
+  per query), so throughput is a polling-rate × response-size ceiling;
+* resolvers throttle sustained query floods, so long bulk transfers die
+  part-way — the paper saw >80% of file downloads end partial, although
+  typically only just short of complete (Figure 8b: up to 96%).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.pts.base import ArchSet, Category, Detour, PluggableTransport, PTParams
+from repro.simnet.geo import Cities, City
+from repro.simnet.resource import Resource
+from repro.tor.client import TorClient
+from repro.units import KB, MB, gbit, mbit
+
+#: OpenDNS DoH anycast: clients reach a nearby point of presence.
+_DOH_POPS: dict[str, City] = {
+    "EU": Cities.FRANKFURT,
+    "NA": Cities.NEW_YORK,
+    "AS": Cities.SINGAPORE,
+}
+
+
+class Dnstt(PluggableTransport):
+    name = "dnstt"
+    category = Category.TUNNELING
+    arch_set = ArchSet.SERVER_IS_GUARD  # dnstt server acts as the guard
+    has_managed_server = False          # paper hosted its own (Namecheap domain)
+    description = ("Tunnel inside DoH/DoT queries via public recursive "
+                   "resolvers; Tor-listed, under deployment testing.")
+    params = PTParams(
+        handshake_rtts=2.0,              # TLS to resolver + session setup
+        request_rtts=2.0,
+        request_extra_median_s=1.5,      # poll cadence through the resolver
+        request_extra_sigma=0.4,
+        overhead_factor=1.55,            # DNS framing + base32-style coding
+        throughput_cap_bps=110 * KB,     # ~220 q/s x 512 B responses
+        byte_budget_median=8 * MB,       # resolver throttles query floods
+        byte_budget_sigma=0.9,
+        private_bridge_bandwidth_bps=mbit(100),
+    )
+
+    def __init__(self, params: PTParams | None = None) -> None:
+        super().__init__(params)
+        self._resolvers: dict[str, Resource] = {}
+
+    def _resolver(self, region: str) -> Resource:
+        resource = self._resolvers.get(region)
+        if resource is None:
+            resource = Resource(f"doh:{region}", gbit(5), background_load=1.0)
+            self._resolvers[region] = resource
+        return resource
+
+    def detours(self, client: TorClient, rng: random.Random) -> list[Detour]:
+        region = client.city.region
+        pop = _DOH_POPS.get(region, Cities.FRANKFURT)
+        return [Detour(city=pop, resource=self._resolver(region))]

@@ -1,0 +1,60 @@
+"""marionette — programmable traffic obfuscation via probabilistic automata.
+
+Marionette executes a DSL-specified probabilistic automaton whose states
+emit cover-protocol messages (HTTP, FTP, …), letting operators program
+the traffic shape their censor requires. The price is the automaton
+itself: every exchange walks timed states. The paper measures the
+consequences — worst website access time of all 12 PTs (20.8 s curl,
+~8x vanilla Tor), ~40% of TTFBs above 20 s (Figure 6), the only PT
+whose isolated overhead is clearly visible (>30 s average access time,
+Figure 9), and the slowest bulk downloads (Table 7). Architecture
+set 3, Python-2.7-only upstream (Table 2 lists the dependency pain).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.pts.automaton import marionette_http_automaton
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams
+from repro.units import KB, mbit
+
+#: After the first full traversal the format is negotiated; subsequent
+#: requests on the session replay a shorter path through the automaton.
+_WARM_TRAVERSAL_FACTOR = 0.12
+
+
+class Marionette(PluggableTransport):
+    name = "marionette"
+    category = Category.MIMICRY
+    arch_set = ArchSet.PT_CLIENT_DIRECT
+    has_managed_server = False
+    description = ("DSL-programmable probabilistic automaton shapes cover "
+                   "traffic; Tor-listed, undeployed (Python 2.7 only).")
+    params = PTParams(
+        handshake_rtts=2.0,
+        handshake_extra_median_s=1.0,   # automaton/model negotiation
+        request_rtts=2.0,
+        overhead_factor=1.35,           # cover-format encoding
+        throughput_cap_bps=60 * KB,     # automaton-paced emission
+        private_bridge_bandwidth_bps=mbit(100),
+    )
+
+    def __init__(self, params: Optional[PTParams] = None) -> None:
+        super().__init__(params)
+        self.automaton = marionette_http_automaton()
+
+    def request_extra_sampler(self) -> Callable[[random.Random], float]:
+        """Per-channel sampler: cold traversal first, warm replays after."""
+        automaton = self.automaton
+        state = {"first": True}
+
+        def sample(rng: random.Random) -> float:
+            traversal = automaton.traverse(rng)
+            if state["first"]:
+                state["first"] = False
+                return traversal
+            return traversal * _WARM_TRAVERSAL_FACTOR
+
+        return sample

@@ -1,0 +1,30 @@
+"""obfs4 — fully-encrypted look-like-nothing transport (Yawning Angel).
+
+Successor of ScrambleSuit: obfuscates the whole stream into uniformly
+random bytes and authenticates clients with an out-of-band secret so
+censors cannot probe the bridge. Minimal framing overhead and a
+Tor-managed, lightly-loaded bridge that doubles as the circuit's guard
+(architecture set 1) make it the paper's best performer: fastest website
+access and the fast group for bulk downloads.
+"""
+
+from __future__ import annotations
+
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams
+from repro.units import mbit
+
+
+class Obfs4(PluggableTransport):
+    name = "obfs4"
+    category = Category.FULLY_ENCRYPTED
+    arch_set = ArchSet.SERVER_IS_GUARD
+    has_managed_server = True
+    description = ("ScrambleSuit successor: uniformly random framing with "
+                   "out-of-band bridge authentication; bundled in Tor Browser.")
+    params = PTParams(
+        handshake_rtts=2.0,             # TCP+obfs4 handshake to the bridge
+        request_rtts=2.0,
+        overhead_factor=1.04,           # obfs4 frames + padding
+        bridge_bandwidth_bps=mbit(500),  # Tor-managed high-end server
+        private_bridge_bandwidth_bps=mbit(100),
+    )

@@ -1,0 +1,37 @@
+"""psiphon — SSH tunnels to a managed proxy network.
+
+Psiphon operates its own fleet of proxy servers; clients authenticate
+with pre-shared SSH keys (the paper uses the default SSH-tunnel
+configuration). Run in architecture set 2: psiphon server, then the
+client's normal Tor guard. A solid mid-field performer: in the fast
+group for bulk downloads alongside obfs4, cloak and webtunnel.
+"""
+
+from __future__ import annotations
+
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams, TransportContext
+from repro.simnet.background import LoadModel
+from repro.simnet.geo import Cities, City
+from repro.units import mbit
+
+
+class Psiphon(PluggableTransport):
+    name = "psiphon"
+    category = Category.PROXY_LAYER
+    arch_set = ArchSet.SEPARATE_PT_SERVER
+    has_managed_server = True
+    can_self_host = False  # the proxy network is psiphon-operated
+    description = ("SSH tunnel into the psiphon proxy network (default "
+                   "configuration); listed by Tor but undeployed.")
+    params = PTParams(
+        handshake_rtts=2.0,             # SSH key exchange
+        handshake_extra_median_s=0.4,   # server selection from the fleet
+        request_rtts=2.0,
+        request_extra_median_s=0.1,
+        overhead_factor=1.06,           # SSH packetisation
+        bridge_bandwidth_bps=mbit(300),
+        bridge_load=LoadModel(mean=2.0),  # shared with other psiphon users
+    )
+
+    def _bridge_city(self, ctx: TransportContext, managed: bool) -> City:
+        return Cities.NEW_YORK  # psiphon fleet concentrates in NA

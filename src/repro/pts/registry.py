@@ -1,0 +1,75 @@
+"""Transport registry: name → class, plus the evaluation roster.
+
+``EVALUATED_PTS`` is the paper's set of twelve measurable transports;
+``make_transport``/``make_all`` build fresh instances (transports are
+stateful once installed into a world, so each world gets its own).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Type
+
+from repro.errors import UnknownTransportError
+from repro.pts.base import Category, PluggableTransport
+from repro.pts.camoufler import Camoufler
+from repro.pts.cloak import Cloak
+from repro.pts.conjure import Conjure
+from repro.pts.dnstt import Dnstt
+from repro.pts.marionette import Marionette
+from repro.pts.meek import Meek
+from repro.pts.obfs4 import Obfs4
+from repro.pts.psiphon import Psiphon
+from repro.pts.shadowsocks import Shadowsocks
+from repro.pts.snowflake import Snowflake
+from repro.pts.stegotorus import Stegotorus
+from repro.pts.vanilla import VanillaTor
+from repro.pts.webtunnel import WebTunnel
+
+_TRANSPORTS: dict[str, Type[PluggableTransport]] = {
+    cls.name: cls for cls in (
+        VanillaTor, Obfs4, Shadowsocks, Meek, Snowflake, Conjure, Psiphon,
+        Dnstt, Camoufler, WebTunnel, Cloak, Stegotorus, Marionette,
+    )
+}
+
+#: The 12 PTs the paper evaluates, in its presentation order
+#: (proxy-layer, tunneling, mimicry, fully encrypted).
+EVALUATED_PTS: tuple[str, ...] = (
+    "meek", "snowflake", "conjure", "psiphon",
+    "dnstt", "camoufler", "webtunnel",
+    "cloak", "stegotorus", "marionette",
+    "obfs4", "shadowsocks",
+)
+
+#: Evaluated PTs plus the vanilla-Tor baseline.
+ALL_TRANSPORTS: tuple[str, ...] = ("tor",) + EVALUATED_PTS
+
+
+def transport_names() -> list[str]:
+    """All registered transport names (baseline included)."""
+    return sorted(_TRANSPORTS)
+
+
+def transport_class(name: str) -> Type[PluggableTransport]:
+    """Look up a transport class by name."""
+    try:
+        return _TRANSPORTS[name]
+    except KeyError:
+        raise UnknownTransportError(name, transport_names()) from None
+
+
+def make_transport(name: str) -> PluggableTransport:
+    """Instantiate a fresh transport by name."""
+    return transport_class(name)()
+
+
+def make_all(names: Iterable[str] | None = None) -> dict[str, PluggableTransport]:
+    """Instantiate several transports (default: baseline + all 12)."""
+    selected = tuple(names) if names is not None else ALL_TRANSPORTS
+    return {name: make_transport(name) for name in selected}
+
+
+def by_category(category: Category) -> list[str]:
+    """Evaluated PT names belonging to one taxonomy category."""
+    return [name for name in EVALUATED_PTS
+            if _TRANSPORTS[name].category is category]

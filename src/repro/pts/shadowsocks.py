@@ -1,0 +1,28 @@
+"""shadowsocks — fully-encrypted SOCKS-style proxy.
+
+An AEAD-encrypted proxy whose wire traffic looks like a uniformly
+random byte stream. The paper runs it in architecture set 2: the
+shadowsocks server is a separate hop *before* the client's normal Tor
+guard, so circuits have four hops total. Self-hosted (no Tor-managed
+server exists).
+"""
+
+from __future__ import annotations
+
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams
+from repro.units import mbit
+
+
+class Shadowsocks(PluggableTransport):
+    name = "shadowsocks"
+    category = Category.FULLY_ENCRYPTED
+    arch_set = ArchSet.SEPARATE_PT_SERVER
+    has_managed_server = False
+    description = ("AEAD-encrypted proxy producing a uniformly random byte "
+                   "stream; listed by the Tor project but undeployed.")
+    params = PTParams(
+        handshake_rtts=1.0,             # lightweight: no TLS, shared key
+        request_rtts=2.0,
+        overhead_factor=1.03,           # AEAD tags + length headers
+        private_bridge_bandwidth_bps=mbit(100),
+    )

@@ -1,0 +1,116 @@
+"""snowflake — WebRTC through short-lived volunteer browser proxies.
+
+A client asks a domain-fronted *broker* for a volunteer proxy (a
+browser extension running in someone's home network), then speaks
+WebRTC to that proxy, which forwards to the snowflake server. Two
+mechanisms dominate performance, both modelled here:
+
+* **proxy churn** — volunteer proxies are short-lived; a proxy dying
+  mid-download kills the transfer (the paper's hypothesis for
+  snowflake's dismal bulk reliability, Section 4.6);
+* **server load** — the Iran protests of September 2022 multiplied
+  snowflake usage (Figure 10a); the paper measured significantly worse
+  access times afterwards (Figure 10b) and attributes the selenium
+  anomaly (median 32 s vs conjure's 13.7 s) to this overload.
+
+``set_surge`` moves the transport between the pre- and post-September
+regimes; the measurement layer drives it from the user-count timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.pts.base import (
+    ArchSet,
+    Category,
+    Detour,
+    PluggableTransport,
+    PTParams,
+    TorBackedChannel,
+)
+from repro.simnet.geo import Cities
+from repro.simnet.resource import Resource
+from repro.simnet.rng import bounded_lognormal, weighted_choice
+from repro.tor.client import TorClient
+from repro.tor.relay import Relay
+from repro.units import mbit
+from repro.web.server import OriginServer
+
+
+class Snowflake(PluggableTransport):
+    name = "snowflake"
+    category = Category.PROXY_LAYER
+    arch_set = ArchSet.SEPARATE_PT_SERVER
+    has_managed_server = True
+    can_self_host = False  # depends on broker + domain fronting
+    description = ("WebRTC tunnel through ephemeral volunteer proxies found "
+                   "via a domain-fronted broker; bundled in Tor Browser.")
+    params = PTParams(
+        handshake_rtts=1.2,              # ICE/DTLS to the proxy
+        handshake_extra_median_s=0.35,   # broker rendezvous (domain fronted)
+        handshake_extra_sigma=0.5,
+        request_rtts=2.0,
+        overhead_factor=1.12,            # SCTP-over-DTLS framing
+        session_lifetime_median_s=85.0,  # volunteer proxy lifetime
+        session_lifetime_sigma=0.7,
+        bridge_bandwidth_bps=mbit(400),
+    )
+
+    #: Volunteer proxy uplink distribution (home connections), by regime.
+    _PROXY_BW_MEDIAN_CALM = mbit(6)
+    _PROXY_BW_MEDIAN_SURGE = mbit(2.5)
+    _LIFETIME_CALM_S = 85.0
+    _LIFETIME_SURGE_S = 16.0
+    #: Extra competing users on the snowflake server at full surge.
+    _SURGE_BRIDGE_LOAD = 120.0
+
+    def __init__(self, params: PTParams | None = None) -> None:
+        super().__init__(params)
+        self.surge_level = 0.0
+
+    # -- load regime -----------------------------------------------------
+
+    def set_surge(self, level: float) -> None:
+        """0.0 = pre-September calm, 1.0 = peak Iran-protest overload."""
+        self.surge_level = max(0.0, min(1.5, level))
+
+    def resample_bridge_load(self, rng: random.Random) -> None:
+        if self.bridge is None:
+            return
+        base = self.bridge.spec.load_model.sample(rng)
+        surge = self.surge_level * self._SURGE_BRIDGE_LOAD
+        if surge > 0:
+            surge *= bounded_lognormal(rng, 1.0, 0.3, lo=0.3, hi=3.0)
+        self.bridge.resource.set_background_load(base + surge)
+
+    # -- per-channel volunteer proxy -----------------------------------
+
+    def _proxy_bandwidth(self, rng: random.Random) -> float:
+        median = (self._PROXY_BW_MEDIAN_CALM
+                  + (self._PROXY_BW_MEDIAN_SURGE - self._PROXY_BW_MEDIAN_CALM)
+                  * min(1.0, self.surge_level))
+        return bounded_lognormal(rng, median, 0.6, lo=mbit(0.5), hi=mbit(50))
+
+    def _proxy_lifetime_median(self) -> float:
+        return (self._LIFETIME_CALM_S
+                + (self._LIFETIME_SURGE_S - self._LIFETIME_CALM_S)
+                * min(1.0, self.surge_level))
+
+    def detours(self, client: TorClient, rng: random.Random) -> list[Detour]:
+        sites = Cities.relay_sites()  # volunteers cluster where users do
+        city = weighted_choice(rng, [c for c, _ in sites], [w for _, w in sites])
+        proxy = Resource(f"snowflake-proxy:{city.name}",
+                         self._proxy_bandwidth(rng))
+        return [Detour(city=city, resource=proxy)]
+
+    def create_channel(self, client: TorClient, server: OriginServer,
+                       rng: random.Random, *,
+                       entry_override: Relay | None = None) -> TorBackedChannel:
+        channel = super().create_channel(client, server, rng,
+                                         entry_override=entry_override)
+        channel.params = replace(
+            channel.params,
+            session_lifetime_median_s=self._proxy_lifetime_median())
+        return channel

@@ -1,0 +1,35 @@
+"""stegotorus — steganographic camouflage proxy (Weinberg et al.).
+
+A *chopper* converts fixed-size Tor cells into variable-size blocks and
+sprays them, out of order, over multiple TCP connections whose payloads
+are steganographically embedded in cover traffic (e.g. HTTP). The
+server reassembles cells and forwards to Tor. Costs modelled: the
+steganographic expansion of every byte, chopper/reassembly latency per
+request, and a separate PT hop (architecture set 2). Mid-pack for
+websites in the paper; clearly slower than obfs4 for bulk downloads
+(Table 7).
+"""
+
+from __future__ import annotations
+
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams
+from repro.units import KB, mbit
+
+
+class Stegotorus(PluggableTransport):
+    name = "stegotorus"
+    category = Category.MIMICRY
+    arch_set = ArchSet.SEPARATE_PT_SERVER
+    has_managed_server = False
+    description = ("Chopper splits Tor cells across multiple TCP "
+                   "connections hidden in HTTP cover traffic; Tor-listed, "
+                   "undeployed.")
+    params = PTParams(
+        handshake_rtts=2.0,             # chopper connection set establishment
+        handshake_extra_median_s=0.25,
+        request_rtts=2.0,
+        request_extra_median_s=0.45,    # out-of-order block reassembly
+        overhead_factor=1.45,           # steganographic cover expansion
+        throughput_cap_bps=500 * KB,    # encode/decode processing ceiling
+        private_bridge_bandwidth_bps=mbit(100),
+    )

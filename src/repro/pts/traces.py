@@ -1,0 +1,196 @@
+"""Synthetic packet traces per transport (detectability companion).
+
+The paper's related-work section (Section 3) surveys a decade of PT
+*detection* research: classifiers keyed on packet sizes and per-flow
+byte counts (Shahbar & Zincir-Heywood; He et al.; Soleimani et al.).
+While PTPerf itself measures performance, a PT's on-the-wire shape is
+the other half of its story — so this module generates per-transport
+packet traces whose size/direction structure reflects each transport's
+framing, and computes the flow features those papers classify on.
+
+Each transport's wire behaviour is described by a :class:`WireProfile`:
+
+* obfs4/shadowsocks pad into near-uniform random record sizes;
+* meek polls over HTTPS — large downstream bursts, small periodic
+  upstream POSTs;
+* dnstt is pinned to DNS message sizes (<=512-byte responses);
+* snowflake runs SCTP-over-DTLS with its own chunking;
+* cloak/webtunnel look like TLS records; marionette emits whatever its
+  automaton's cover format dictates, etc.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import UnknownTransportError
+from repro.simnet.rng import bounded_lognormal
+
+#: Ethernet MTU payload bound for a TCP segment.
+_MTU = 1448.0
+
+
+@dataclass(frozen=True)
+class WireProfile:
+    """How a transport chops a byte stream into wire packets."""
+
+    name: str
+    #: Median application record size before segmentation (bytes).
+    record_median: float
+    record_sigma: float
+    #: Fixed cell quantisation (e.g. DNS 512-byte responses); None = no
+    #: quantisation beyond the MTU.
+    quantum: float | None = None
+    #: Fraction of additional small control/ack packets interleaved.
+    control_ratio: float = 0.05
+    #: Upstream request size distribution (polling transports send
+    #: periodic non-trivial upstream traffic).
+    upstream_median: float = 120.0
+    upstream_sigma: float = 0.4
+    #: Upstream packets per downstream record (polling cadence).
+    upstream_per_record: float = 0.1
+
+
+#: Wire profiles for the evaluated transports (+ vanilla Tor cells).
+WIRE_PROFILES: dict[str, WireProfile] = {
+    "tor": WireProfile("tor", record_median=514.0, record_sigma=0.0,
+                       quantum=514.0, control_ratio=0.02),
+    "obfs4": WireProfile("obfs4", record_median=900.0, record_sigma=0.6,
+                         control_ratio=0.03),
+    "shadowsocks": WireProfile("shadowsocks", record_median=1100.0,
+                               record_sigma=0.5, control_ratio=0.02),
+    "meek": WireProfile("meek", record_median=1300.0, record_sigma=0.3,
+                        control_ratio=0.02, upstream_median=600.0,
+                        upstream_per_record=0.45),  # HTTP polling
+    "snowflake": WireProfile("snowflake", record_median=1200.0,
+                             record_sigma=0.25, control_ratio=0.12),
+    "conjure": WireProfile("conjure", record_median=1350.0,
+                           record_sigma=0.2, control_ratio=0.03),
+    "psiphon": WireProfile("psiphon", record_median=1000.0,
+                           record_sigma=0.45, control_ratio=0.04),
+    "dnstt": WireProfile("dnstt", record_median=512.0, record_sigma=0.0,
+                         quantum=512.0, control_ratio=0.02,
+                         upstream_median=140.0, upstream_per_record=1.0),
+    "camoufler": WireProfile("camoufler", record_median=800.0,
+                             record_sigma=0.5, control_ratio=0.08,
+                             upstream_median=300.0, upstream_per_record=0.3),
+    "webtunnel": WireProfile("webtunnel", record_median=1380.0,
+                             record_sigma=0.15, control_ratio=0.03),
+    "cloak": WireProfile("cloak", record_median=1380.0, record_sigma=0.18,
+                         control_ratio=0.03),
+    "stegotorus": WireProfile("stegotorus", record_median=700.0,
+                              record_sigma=0.7, control_ratio=0.06),
+    "marionette": WireProfile("marionette", record_median=950.0,
+                              record_sigma=0.55, control_ratio=0.1,
+                              upstream_median=400.0,
+                              upstream_per_record=0.25),
+}
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One wire packet of a trace."""
+
+    size: float
+    downstream: bool  # True = server -> client
+
+
+@dataclass(frozen=True)
+class FlowFeatures:
+    """The per-flow features PT-detection classifiers use."""
+
+    n_packets: int
+    total_bytes: float
+    mean_size: float
+    std_size: float
+    max_size: float
+    downstream_fraction: float
+    size_entropy_bits: float
+
+    def as_vector(self) -> tuple[float, ...]:
+        return (float(self.n_packets), self.total_bytes, self.mean_size,
+                self.std_size, self.max_size, self.downstream_fraction,
+                self.size_entropy_bits)
+
+
+def wire_profile(pt_name: str) -> WireProfile:
+    """The wire profile for a transport name."""
+    try:
+        return WIRE_PROFILES[pt_name]
+    except KeyError:
+        raise UnknownTransportError(pt_name, sorted(WIRE_PROFILES)) from None
+
+
+def generate_trace(pt_name: str, payload_bytes: float,
+                   rng: random.Random) -> list[Packet]:
+    """A packet trace for transferring ``payload_bytes`` downstream."""
+    profile = wire_profile(pt_name)
+    packets: list[Packet] = []
+    remaining = payload_bytes
+    while remaining > 0:
+        if profile.quantum is not None:
+            record = min(profile.quantum, max(remaining, 1.0))
+            record = profile.quantum  # fixed-size cells pad the tail
+        else:
+            record = bounded_lognormal(rng, profile.record_median,
+                                       profile.record_sigma,
+                                       lo=64.0, hi=16_384.0)
+        remaining -= min(record, remaining)
+        # Segment the record at the MTU.
+        for segment in _segments(record):
+            packets.append(Packet(size=segment, downstream=True))
+        if rng.random() < profile.upstream_per_record:
+            packets.append(Packet(
+                size=bounded_lognormal(rng, profile.upstream_median,
+                                       profile.upstream_sigma,
+                                       lo=40.0, hi=_MTU),
+                downstream=False))
+        if rng.random() < profile.control_ratio:
+            packets.append(Packet(size=52.0, downstream=rng.random() < 0.5))
+    return packets
+
+
+def _segments(record: float) -> Iterator[float]:
+    while record > _MTU:
+        yield _MTU
+        record -= _MTU
+    if record > 0:
+        yield record
+
+
+def extract_features(packets: list[Packet]) -> FlowFeatures:
+    """Compute classifier features from a trace."""
+    if not packets:
+        raise ValueError("cannot featurise an empty trace")
+    sizes = [p.size for p in packets]
+    downstream = sum(1 for p in packets if p.downstream)
+    return FlowFeatures(
+        n_packets=len(packets),
+        total_bytes=sum(sizes),
+        mean_size=statistics.fmean(sizes),
+        std_size=statistics.stdev(sizes) if len(sizes) > 1 else 0.0,
+        max_size=max(sizes),
+        downstream_fraction=downstream / len(packets),
+        size_entropy_bits=_size_entropy(sizes),
+    )
+
+
+def _size_entropy(sizes: list[float], bin_width: float = 64.0) -> float:
+    """Shannon entropy of the packet-size histogram (bits)."""
+    counts: dict[int, int] = {}
+    for size in sizes:
+        counts[int(size // bin_width)] = counts.get(int(size // bin_width), 0) + 1
+    n = len(sizes)
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())
+
+
+def feature_table(payload_bytes: float, rng: random.Random,
+                  pts: Iterator[str] | None = None) -> dict[str, FlowFeatures]:
+    """Features for every transport at one payload size."""
+    names = list(pts) if pts is not None else list(WIRE_PROFILES)
+    return {name: extract_features(generate_trace(name, payload_bytes, rng))
+            for name in names}

@@ -1,0 +1,28 @@
+"""Vanilla Tor — the baseline every PT is compared against."""
+
+from __future__ import annotations
+
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams, TransportContext
+
+
+class VanillaTor(PluggableTransport):
+    """Direct Tor: client → volunteer guard → middle → exit.
+
+    No PT machinery at all; performance is governed by the volunteer
+    guard's load — which is precisely what makes lightly-loaded PT
+    bridges *beat* it in the paper's Section 4.2.1.
+    """
+
+    name = "tor"
+    category = Category.BASELINE
+    arch_set = ArchSet.NONE
+    has_managed_server = False
+    description = "Vanilla Tor client over the public relay network."
+    params = PTParams(
+        handshake_rtts=1.0,     # TLS to the guard
+        request_rtts=2.0,       # stream BEGIN + GET
+        overhead_factor=1.0,
+    )
+
+    def _make_bridge(self, ctx: TransportContext):
+        return None  # no PT server: the consensus guard is the first hop

@@ -1,0 +1,31 @@
+"""webtunnel — HTTPS tunnel built on HTTPT (Frolov & Wustrow).
+
+The client makes an ordinary TLS connection to a webserver with a valid
+certificate; after an HTTP upgrade, Tor traffic flows inside the tunnel
+and the server side hands it to a Tor bridge process (architecture
+set 1). No protocol-imposed throughput ceiling — the paper singles this
+out against camoufler/dnstt in its tunneling-category discussion — and
+with a lightly-loaded first hop it beats vanilla Tor under selenium.
+"""
+
+from __future__ import annotations
+
+from repro.pts.base import ArchSet, Category, PluggableTransport, PTParams
+from repro.units import mbit
+
+
+class WebTunnel(PluggableTransport):
+    name = "webtunnel"
+    category = Category.TUNNELING
+    arch_set = ArchSet.SERVER_IS_GUARD
+    has_managed_server = False  # paper hosted its own webtunnel servers
+    description = ("HTTPT-based HTTPS tunnel to a webserver with a valid "
+                   "TLS certificate; Tor-listed, under deployment testing.")
+    params = PTParams(
+        handshake_rtts=2.0,             # TLS + HTTP upgrade
+        handshake_extra_median_s=0.7,   # certificate/upgrade processing
+        request_rtts=2.0,
+        request_extra_median_s=0.12,    # TLS-in-TLS record handling
+        overhead_factor=1.08,           # HTTP/TLS framing
+        private_bridge_bandwidth_bps=mbit(100),
+    )

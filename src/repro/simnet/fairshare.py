@@ -1,0 +1,90 @@
+"""Weighted max-min fair bandwidth allocation (water-filling).
+
+Given a set of flows, each traversing a path of resources with finite
+capacity, compute the weighted max-min fair rate vector: repeatedly find
+the most contended resource, freeze the flows it bottlenecks at their
+fair share, remove them, and continue with the residual capacities.
+
+Each resource may also carry a *background load* — a virtual flow of
+that weight which consumes its share but is never frozen by other
+resources (it models aggregate cross-traffic local to the resource).
+
+This is the standard fluid approximation used by flow-level network
+simulators; it is what lets a 1.25M-measurement campaign finish in
+seconds rather than simulating packets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.simnet.flow import Flow
+from repro.simnet.resource import Resource
+
+
+def compute_fair_rates(flows: Iterable[Flow]) -> Mapping[Flow, float]:
+    """Return the weighted max-min fair rate (bytes/s) for each flow.
+
+    Flows with an empty intersection of resources are impossible by
+    construction (Flow validates non-empty paths). Background load on a
+    resource participates in every round of the water-filling at its
+    weight, so real flows on a busy resource get proportionally less.
+    """
+    flows = [f for f in flows if f.is_active]
+    if not flows:
+        return {}
+
+    # Residual capacity and unfrozen flows per resource.
+    residual: dict[Resource, float] = {}
+    pending: dict[Resource, set[Flow]] = {}
+    for flow in flows:
+        for res in flow.path:
+            if res not in residual:
+                residual[res] = res.capacity_bps
+                pending[res] = set()
+            pending[res].add(flow)
+
+    rates: dict[Flow, float] = {}
+    unfrozen = set(flows)
+
+    while unfrozen:
+        # Fair share offered by each resource that still has unfrozen
+        # flows: residual / (sum of unfrozen weights + background load).
+        bottleneck: Resource | None = None
+        best_share = float("inf")
+        for res, flowset in pending.items():
+            live = flowset & unfrozen
+            if not live:
+                continue
+            denom = sum(f.weight for f in live) + res.background_load
+            share = residual[res] / denom
+            if share < best_share:
+                best_share = share
+                bottleneck = res
+        if bottleneck is None:  # pragma: no cover - defensive
+            break
+
+        # Freeze every unfrozen flow crossing the bottleneck at its
+        # weighted share, and charge that rate to all its resources.
+        frozen_now = pending[bottleneck] & unfrozen
+        for flow in frozen_now:
+            rate = best_share * flow.weight
+            rates[flow] = rate
+            for res in flow.path:
+                residual[res] = max(0.0, residual[res] - rate)
+        unfrozen -= frozen_now
+
+    return rates
+
+
+def effective_bottleneck_bps(path: Iterable[Resource]) -> float:
+    """Idle-network throughput of a lone flow on ``path``.
+
+    Useful for analytic sanity checks: a single unit-weight flow gets
+    ``capacity / (1 + background_load)`` at each resource and is limited
+    by the minimum across the path.
+    """
+    best = float("inf")
+    for res in path:
+        best = min(best, res.capacity_bps / (1.0 + res.background_load))
+    return best

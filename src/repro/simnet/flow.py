@@ -1,0 +1,79 @@
+"""Fluid flows: finite transfers across a path of resources."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.resource import Resource
+
+_flow_ids = itertools.count(1)
+
+
+class FlowState(enum.Enum):
+    """Lifecycle of a fluid flow."""
+
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+
+
+class Flow:
+    """A transfer of ``size_bytes`` across ``path`` resources.
+
+    The fluid network assigns each active flow a rate; the flow completes
+    when its remaining volume reaches zero. ``on_complete``/``on_abort``
+    callbacks receive the flow itself.
+    """
+
+    __slots__ = ("fid", "path", "size_bytes", "remaining", "weight", "rate_bps",
+                 "state", "started_at", "finished_at", "on_complete", "on_abort",
+                 "abort_reason")
+
+    def __init__(self, path: tuple["Resource", ...], size_bytes: float, *,
+                 weight: float = 1.0,
+                 on_complete: Optional[Callable[["Flow"], None]] = None,
+                 on_abort: Optional[Callable[["Flow"], None]] = None) -> None:
+        if size_bytes < 0:
+            raise SimulationError("flow size must be >= 0")
+        if not path:
+            raise SimulationError("flow path must contain at least one resource")
+        if weight <= 0:
+            raise SimulationError("flow weight must be positive")
+        self.fid = next(_flow_ids)
+        self.path = tuple(path)
+        self.size_bytes = float(size_bytes)
+        self.remaining = float(size_bytes)
+        self.weight = float(weight)
+        self.rate_bps = 0.0
+        self.state = FlowState.ACTIVE
+        self.started_at: float = 0.0
+        self.finished_at: float | None = None
+        self.on_complete = on_complete
+        self.on_abort = on_abort
+        self.abort_reason: str | None = None
+
+    @property
+    def bytes_done(self) -> float:
+        """Payload bytes delivered so far."""
+        return self.size_bytes - self.remaining
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is FlowState.ACTIVE
+
+    def eta(self, now: float) -> float:
+        """Projected completion time at the current rate (inf if stalled)."""
+        if self.remaining <= 0:
+            return now
+        if self.rate_bps <= 0:
+            return float("inf")
+        return now + self.remaining / self.rate_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow #{self.fid} {self.state.value} "
+                f"{self.bytes_done:.0f}/{self.size_bytes:.0f}B @{self.rate_bps:.0f}B/s>")

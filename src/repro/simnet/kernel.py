@@ -1,0 +1,137 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop: events are ``(time, seq, callback)``
+triples kept in a binary heap. ``seq`` is a monotonically increasing
+counter so that events scheduled for the same instant fire in FIFO order,
+which keeps every simulation run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`EventKernel.schedule`.
+
+    Events may be cancelled; cancelled events stay in the heap but are
+    skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will not fire."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class EventKernel:
+    """Deterministic discrete-event scheduler.
+
+    Example:
+        >>> k = EventKernel()
+        >>> fired = []
+        >>> _ = k.schedule(1.5, fired.append, "a")
+        >>> _ = k.schedule(0.5, fired.append, "b")
+        >>> k.run()
+        >>> fired
+        ['b', 'a']
+        >>> k.now
+        1.5
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    # -- scheduling ---------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule event at {time} before now={self.now}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution ----------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event heap yielded an event from the past")
+            self.now = event.time
+            self._events_fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired (whichever comes first).
+
+        When ``until`` is given, ``now`` is advanced to ``until`` even if
+        the heap drained earlier, so follow-up scheduling is relative to
+        the requested horizon.
+        """
+        fired = 0
+        while self._heap:
+            nxt = self._peek()
+            if nxt is None:
+                break
+            if until is not None and nxt.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return
+            self.step()
+            fired += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _peek(self) -> Event | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventKernel now={self.now:.6f} pending={self.pending}>"

@@ -1,0 +1,63 @@
+"""Latency model: per-path RTT sampling with jitter and medium effects.
+
+Wireless access adds a small latency penalty and retransmission-induced
+jitter; the paper (Section 4.7) found the medium change does *not* alter
+the PT performance ordering, so the penalty is deliberately modest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.simnet.geo import City, Medium, base_rtt
+from repro.simnet.rng import lognormal_factor
+
+#: Extra RTT added by a WiFi first hop (802.11 contention + retransmits).
+WIRELESS_EXTRA_RTT_S = 0.004
+#: Jitter sigma (lognormal) for wired and wireless paths.
+WIRED_JITTER_SIGMA = 0.10
+WIRELESS_JITTER_SIGMA = 0.22
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Samples RTTs between cities with multiplicative jitter.
+
+    Attributes:
+        medium: the client's access medium; only affects paths that
+            start at the client.
+        jitter_sigma: lognormal sigma applied to each RTT sample.
+    """
+
+    medium: Medium = Medium.WIRED
+    jitter_sigma: float = WIRED_JITTER_SIGMA
+
+    @classmethod
+    def for_medium(cls, medium: Medium) -> "LatencyModel":
+        """Build the model appropriate for a wired or wireless client."""
+        sigma = WIRELESS_JITTER_SIGMA if medium is Medium.WIRELESS else WIRED_JITTER_SIGMA
+        return cls(medium=medium, jitter_sigma=sigma)
+
+    def rtt(self, a: City, b: City, rng: random.Random, *, client_side: bool = False) -> float:
+        """One RTT sample between ``a`` and ``b``.
+
+        ``client_side`` marks paths whose first hop is the client access
+        link, which is where the wireless penalty applies.
+        """
+        value = base_rtt(a, b) * lognormal_factor(rng, self.jitter_sigma)
+        if client_side and self.medium is Medium.WIRELESS:
+            value += WIRELESS_EXTRA_RTT_S * lognormal_factor(rng, self.jitter_sigma)
+        return value
+
+    def chain_rtt(self, hops: list[City], rng: random.Random) -> float:
+        """RTT of a request that traverses ``hops`` and returns.
+
+        ``hops`` is the ordered list of locations starting at the client;
+        the sample is the sum of per-segment RTTs (store-and-forward
+        proxying at each hop, as in onion routing).
+        """
+        total = 0.0
+        for i in range(len(hops) - 1):
+            total += self.rtt(hops[i], hops[i + 1], rng, client_side=(i == 0))
+        return total

@@ -1,0 +1,145 @@
+"""The fluid network: couples flows, fair sharing, and the event kernel.
+
+``FluidNetwork`` owns the set of active flows. Whenever the set changes
+(a flow starts, completes, or aborts) or a resource's background load is
+changed, rates are recomputed with weighted max-min fairness and the
+next completion event is rescheduled. Between recomputations every flow
+progresses linearly at its assigned rate, so progress accounting is
+exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.simnet.fairshare import compute_fair_rates
+from repro.simnet.flow import Flow, FlowState
+from repro.simnet.kernel import Event, EventKernel
+from repro.simnet.resource import Resource
+
+_EPSILON_BYTES = 1e-6  # float-tolerance for "transfer finished"
+
+
+class FluidNetwork:
+    """Flow-level network simulator bound to an :class:`EventKernel`."""
+
+    def __init__(self, kernel: EventKernel) -> None:
+        self.kernel = kernel
+        self._flows: set[Flow] = set()
+        self._last_update = kernel.now
+        self._completion_event: Optional[Event] = None
+
+    # -- public API ----------------------------------------------------
+
+    def start_flow(self, path: Iterable[Resource], size_bytes: float, *,
+                   weight: float = 1.0,
+                   on_complete: Optional[Callable[[Flow], None]] = None,
+                   on_abort: Optional[Callable[[Flow], None]] = None) -> Flow:
+        """Begin a transfer and return its :class:`Flow` handle.
+
+        Zero-byte flows complete immediately (their callback fires from
+        within this call).
+        """
+        flow = Flow(tuple(path), size_bytes, weight=weight,
+                    on_complete=on_complete, on_abort=on_abort)
+        flow.started_at = self.kernel.now
+        if flow.size_bytes <= _EPSILON_BYTES:
+            self._finish(flow)
+            return flow
+        self._advance_progress()
+        self._flows.add(flow)
+        self._reallocate()
+        return flow
+
+    def abort_flow(self, flow: Flow, reason: str = "aborted") -> None:
+        """Abort an active flow; its ``on_abort`` callback fires."""
+        if not flow.is_active:
+            return
+        self._advance_progress()
+        self._flows.discard(flow)
+        flow.state = FlowState.ABORTED
+        flow.abort_reason = reason
+        flow.finished_at = self.kernel.now
+        flow.rate_bps = 0.0
+        self._reallocate()
+        if flow.on_abort is not None:
+            flow.on_abort(flow)
+
+    def notify_load_changed(self) -> None:
+        """Re-run the allocation after a background-load change."""
+        self._advance_progress()
+        self._reallocate()
+
+    @property
+    def active_flows(self) -> frozenset[Flow]:
+        return frozenset(self._flows)
+
+    # -- internals -----------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Credit every active flow with bytes since the last update."""
+        now = self.kernel.now
+        dt = now - self._last_update
+        if dt < 0:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards in FluidNetwork")
+        if dt > 0:
+            for flow in self._flows:
+                flow.remaining = max(0.0, flow.remaining - flow.rate_bps * dt)
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute fair rates and schedule the next completion."""
+        rates = compute_fair_rates(self._flows)
+        for flow in self._flows:
+            flow.rate_bps = rates.get(flow, 0.0)
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        now = self.kernel.now
+        next_eta = float("inf")
+        for flow in self._flows:
+            eta = flow.eta(now)
+            if eta < next_eta:
+                next_eta = eta
+        if next_eta == float("inf"):
+            return
+        delay = max(0.0, next_eta - now)
+        self._completion_event = self.kernel.schedule(delay, self._on_completion_tick)
+
+    def _finished(self, flow: Flow) -> bool:
+        """Whether a flow is done within numeric tolerance.
+
+        Besides the byte epsilon, a flow whose remaining transfer time
+        is below the float resolution of the current simulation time can
+        never make further progress (``now + dt == now``), so it is
+        complete by definition — without this, a completion event can
+        refire at the same timestamp forever.
+        """
+        if flow.remaining <= _EPSILON_BYTES:
+            return True
+        min_dt = 8.0 * math.ulp(max(1.0, self.kernel.now))
+        return flow.remaining <= flow.rate_bps * min_dt
+
+    def _on_completion_tick(self) -> None:
+        """Complete every flow that has (numerically) finished."""
+        self._completion_event = None
+        self._advance_progress()
+        done = [f for f in self._flows if self._finished(f)]
+        for flow in done:
+            self._flows.discard(flow)
+        self._reallocate()
+        for flow in done:
+            self._finish(flow)
+
+    def _finish(self, flow: Flow) -> None:
+        flow.state = FlowState.COMPLETED
+        flow.remaining = 0.0
+        flow.rate_bps = 0.0
+        flow.finished_at = self.kernel.now
+        if flow.on_complete is not None:
+            flow.on_complete(flow)

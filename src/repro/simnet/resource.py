@@ -1,0 +1,63 @@
+"""Capacity resources for the fluid flow model.
+
+A :class:`Resource` is anything with finite forwarding capacity that
+flows must traverse: a relay's uplink, a PT bridge, a DoH resolver, a
+client access link, a rate-limiter inside a transport. Capacity is
+shared max-min fairly among the flows on the resource, plus a
+*background load*: a virtual always-on flow aggregate that stands in for
+traffic we do not simulate individually (other Tor clients on a
+volunteer guard, other users of a public meek bridge).
+
+Background load is the causal knob behind the paper's central finding
+(Section 4.2.1): volunteer guard relays are busy, Tor-managed PT bridges
+are not, and that difference — not the PT machinery — explains why some
+PTs beat vanilla Tor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+_resource_ids = itertools.count(1)
+
+
+@dataclass
+class Resource:
+    """A shared capacity constraint.
+
+    Attributes:
+        name: human-readable identifier (appears in traces).
+        capacity_bps: forwarding capacity in bytes/second.
+        background_load: weight of the virtual background flow sharing
+            this resource (0 means the resource is dedicated).
+    """
+
+    name: str
+    capacity_bps: float
+    background_load: float = 0.0
+    rid: int = field(default_factory=lambda: next(_resource_ids))
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise SimulationError(f"resource {self.name!r} must have positive capacity")
+        if self.background_load < 0:
+            raise SimulationError(f"resource {self.name!r} background load must be >= 0")
+
+    def __hash__(self) -> int:
+        return self.rid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Resource) and other.rid == self.rid
+
+    def set_background_load(self, load: float) -> None:
+        """Update the background-flow weight (e.g. a load surge)."""
+        if load < 0:
+            raise SimulationError("background load must be >= 0")
+        self.background_load = load
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Resource {self.name!r} cap={self.capacity_bps:.0f}B/s "
+                f"bg={self.background_load:.1f}>")

@@ -1,0 +1,37 @@
+"""Tor substrate: relays, consensus, circuits, client, controller."""
+
+from repro.tor.cell import (
+    CELL_OVERHEAD_FACTOR,
+    CELL_SIZE,
+    CIRCUIT_WINDOW_BYTES,
+    RELAY_PAYLOAD,
+    STREAM_WINDOW_BYTES,
+    cells_for_payload,
+    circuit_throughput_cap_bps,
+    stream_throughput_cap_bps,
+    wire_bytes,
+)
+from repro.tor.circuit import Circuit
+from repro.tor.client import TorClient, TorClientConfig
+from repro.tor.consensus import Consensus, ConsensusParams, generate_consensus
+from repro.tor.controller import CircuitController, PinnedCircuitSpec
+from repro.tor.guard import GuardManager
+from repro.tor.path import CircuitPath, PathSelector
+from repro.tor.relay import (
+    Bridge,
+    Flag,
+    Relay,
+    RelaySpec,
+    make_colocated_guard_and_bridge,
+)
+
+__all__ = [
+    "Bridge", "CELL_OVERHEAD_FACTOR", "CELL_SIZE", "CIRCUIT_WINDOW_BYTES",
+    "Circuit", "CircuitController", "CircuitPath", "Consensus",
+    "ConsensusParams", "Flag", "GuardManager", "PathSelector",
+    "PinnedCircuitSpec", "RELAY_PAYLOAD", "Relay", "RelaySpec",
+    "STREAM_WINDOW_BYTES", "TorClient", "TorClientConfig",
+    "cells_for_payload", "circuit_throughput_cap_bps",
+    "generate_consensus", "make_colocated_guard_and_bridge",
+    "stream_throughput_cap_bps", "wire_bytes",
+]

@@ -1,0 +1,59 @@
+"""Tor cell framing constants and byte-overhead accounting.
+
+Tor moves data in fixed-size cells; relayed application payload is
+wrapped in RELAY cells with a 16-byte relay header inside the 514-byte
+(link v4+) cell. Framing therefore inflates payload bytes by a small
+factor, and Tor's window-based flow control bounds per-stream and
+per-circuit throughput by ``window_bytes / circuit_rtt`` — a mechanism
+that materially shapes the bulk-download numbers in the paper's
+Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Full cell size on the wire (circid 4 + command 1 + payload 509).
+CELL_SIZE = 514
+#: Payload bytes available to application data inside one RELAY cell.
+RELAY_PAYLOAD = 498
+
+#: Circuit-level flow-control window, in cells (fixed by the protocol).
+CIRCUIT_WINDOW_CELLS = 1000
+#: Stream-level flow-control window, in cells.
+STREAM_WINDOW_CELLS = 500
+
+CIRCUIT_WINDOW_BYTES = CIRCUIT_WINDOW_CELLS * RELAY_PAYLOAD
+STREAM_WINDOW_BYTES = STREAM_WINDOW_CELLS * RELAY_PAYLOAD
+
+#: Wire-byte expansion of payload due to cell framing.
+CELL_OVERHEAD_FACTOR = CELL_SIZE / RELAY_PAYLOAD
+
+
+def cells_for_payload(payload_bytes: float) -> int:
+    """Number of RELAY cells needed to carry ``payload_bytes``."""
+    if payload_bytes <= 0:
+        return 0
+    return math.ceil(payload_bytes / RELAY_PAYLOAD)
+
+
+def wire_bytes(payload_bytes: float) -> float:
+    """Bytes on the wire (cell framing included) for a payload."""
+    return cells_for_payload(payload_bytes) * CELL_SIZE
+
+
+def stream_throughput_cap_bps(circuit_rtt_s: float) -> float:
+    """Per-stream throughput ceiling imposed by SENDME flow control.
+
+    A stream may have at most one stream window in flight; the sender
+    stalls until SENDMEs return, so sustained throughput is bounded by
+    window/RTT.
+    """
+    rtt = max(circuit_rtt_s, 1e-4)
+    return STREAM_WINDOW_BYTES / rtt
+
+
+def circuit_throughput_cap_bps(circuit_rtt_s: float) -> float:
+    """Per-circuit throughput ceiling imposed by SENDME flow control."""
+    rtt = max(circuit_rtt_s, 1e-4)
+    return CIRCUIT_WINDOW_BYTES / rtt

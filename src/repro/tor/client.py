@@ -1,0 +1,144 @@
+"""The Tor client: SOCKS-facing circuit management.
+
+Responsible for the behaviour the paper's harness drives through the
+standard ``tor`` utility: bootstrap, guard persistence, circuit reuse
+(``MaxCircuitDirtiness``), and building new circuits through either the
+consensus guard (vanilla) or a supplied entry bridge (PT sets 1/3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.simnet.geo import City, Medium
+from repro.simnet.kernel import EventKernel
+from repro.simnet.latency import LatencyModel
+from repro.simnet.resource import Resource
+from repro.simnet.rng import bounded_lognormal
+from repro.simnet.session import Delay
+from repro.tor.circuit import Circuit
+from repro.tor.consensus import Consensus
+from repro.tor.guard import GuardManager
+from repro.tor.path import PathSelector
+from repro.tor.relay import Relay
+from repro.units import mbit
+
+
+@dataclass
+class TorClientConfig:
+    """Client-side knobs mirroring the relevant torrc options."""
+
+    max_circuit_dirtiness_s: float = 600.0
+    new_circuit_per_target: bool = True
+    #: Median time for a cold `tor` process to bootstrap (directory
+    #: fetch + first circuits). The paper's bulk-download timings include
+    #: this cost; website campaigns run against a warm client.
+    bootstrap_median_s: float = 20.0
+    bootstrap_sigma: float = 0.35
+    access_bandwidth_bps: float = mbit(200)
+    wireless_bandwidth_bps: float = mbit(80)
+
+
+class TorClient:
+    """A Tor client at a given city, bound to the simulation world."""
+
+    def __init__(self, kernel: EventKernel, consensus: Consensus, city: City, *,
+                 rng: random.Random, medium: Medium = Medium.WIRED,
+                 config: Optional[TorClientConfig] = None) -> None:
+        self.kernel = kernel
+        self.consensus = consensus
+        self.city = city
+        self.rng = rng
+        self.medium = medium
+        self.config = config or TorClientConfig()
+        self.latency = LatencyModel.for_medium(medium)
+        self.guards = GuardManager(consensus, rng)
+        self.paths = PathSelector(consensus)
+        bandwidth = (self.config.wireless_bandwidth_bps
+                     if medium is Medium.WIRELESS
+                     else self.config.access_bandwidth_bps)
+        self.access_resource = Resource(f"client:{city.name}", bandwidth)
+        self._circuit: Optional[Circuit] = None
+        self._pinned_entry: Optional[Relay] = None
+        self._pinned_middle: Optional[Relay] = None
+        self._pinned_exit: Optional[Relay] = None
+        #: Experiment-controlled fallback entry: when a transport does
+        #: not dictate the first hop (vanilla, PT sets 2/3), this relay
+        #: is used instead of the consensus guard. The fixed-circuit
+        #: experiments (paper §4.2.1/5.2) point it at their own guard.
+        self.default_entry: Optional[Relay] = None
+        self.circuits_built = 0
+
+    # -- experiment control (stem/carml-style) -------------------------
+
+    def pin_entry(self, entry: Optional[Relay]) -> None:
+        """Force the first hop (PT bridge or own guard).
+
+        ``None`` falls back to :attr:`default_entry` (and ultimately the
+        sticky consensus guard). Keeps the current circuit when the
+        entry is unchanged, so a persistent channel (or a fixed-circuit
+        experiment) does not rebuild needlessly.
+        """
+        effective = entry if entry is not None else self.default_entry
+        if effective is not self._pinned_entry:
+            self._pinned_entry = effective
+            self._circuit = None
+
+    def pin_path(self, entry: Optional[Relay] = None,
+                 middle: Optional[Relay] = None,
+                 exit: Optional[Relay] = None) -> None:
+        """Pin any subset of the circuit positions."""
+        self._pinned_entry = entry
+        self._pinned_middle = middle
+        self._pinned_exit = exit
+        self._circuit = None
+
+    def drop_circuit(self) -> None:
+        """Discard the current circuit (fresh one on next use)."""
+        self._circuit = None
+
+    # -- processes ------------------------------------------------------
+
+    def bootstrap_process(self) -> Iterator:
+        """Cold-start cost of the tor process (directory + first hop)."""
+        delay = bounded_lognormal(
+            self.rng, self.config.bootstrap_median_s,
+            self.config.bootstrap_sigma, lo=3.0, hi=90.0)
+        yield Delay(delay)
+
+    def circuit_process(self, *, reuse: bool = True,
+                        origin_prefix: Optional[list[City]] = None) -> Iterator:
+        """Yield a ready circuit (building one if necessary).
+
+        ``origin_prefix`` is the chain of locations between the client
+        and the first hop (a PT detour); circuits are only reused when
+        the prefix matches, since the cells travel a different path.
+
+        Returns the circuit via the generator's return value.
+        """
+        origin = [self.city] + list(origin_prefix or [])
+        circuit = self._circuit if reuse else None
+        if circuit is not None and circuit.built:
+            age = self.kernel.now - (circuit.built_at or 0.0)
+            if age > self.config.max_circuit_dirtiness_s:
+                circuit = None
+            elif not circuit.same_origin(origin):
+                circuit = None
+        if circuit is None:
+            circuit = self._new_circuit(origin)
+            yield from circuit.build_process()
+            circuit.built_at = self.kernel.now
+            self.circuits_built += 1
+            self._circuit = circuit
+        return circuit
+
+    def _new_circuit(self, origin: list[City]) -> Circuit:
+        entry = self._pinned_entry
+        if entry is None:
+            entry = self.guards.current()
+        path = self.paths.select(self.rng, entry=entry,
+                                 middle=self._pinned_middle,
+                                 exit=self._pinned_exit)
+        return Circuit(origin, path.hops, self.latency, self.rng)

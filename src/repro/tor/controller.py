@@ -1,0 +1,61 @@
+"""Circuit controller: the stem/carml role in the paper's harness.
+
+The paper's Appendix A.3 explains how the authors fixed circuits: stem
+to stop Tor building its own circuits (``MaxClientCircuitsPending=1``,
+high ``NewCircuitPeriod``/``MaxCircuitDirtiness``) and carml to attach
+streams to a hand-built circuit (``LeaveStreamsUnattached=1``). This
+module provides the equivalent experiment control for the simulated
+client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tor.client import TorClient
+from repro.tor.consensus import Consensus
+from repro.tor.relay import Relay
+
+
+@dataclass(frozen=True)
+class PinnedCircuitSpec:
+    """Which positions of the circuit are experiment-controlled."""
+
+    entry: Optional[Relay] = None
+    middle: Optional[Relay] = None
+    exit: Optional[Relay] = None
+
+
+class CircuitController:
+    """Drives a TorClient the way stem+carml drive a real one."""
+
+    def __init__(self, client: TorClient) -> None:
+        self.client = client
+        self._spec = PinnedCircuitSpec()
+
+    def set_conf_fixed_circuit(self, spec: PinnedCircuitSpec) -> None:
+        """Pin circuit positions and persist the circuit.
+
+        Equivalent to setting ``NewCircuitPeriod`` and
+        ``MaxCircuitDirtiness`` to large values so the created circuit
+        survives the whole experiment.
+        """
+        self._spec = spec
+        self.client.config.max_circuit_dirtiness_s = 1e9
+        self.client.config.new_circuit_per_target = False
+        self.client.pin_path(entry=spec.entry, middle=spec.middle, exit=spec.exit)
+
+    def new_identity(self) -> None:
+        """Drop circuit state (like NEWNYM) keeping pinned positions."""
+        self.client.drop_circuit()
+
+    def sample_fixed_middle_exit(self, consensus: Consensus, rng) -> PinnedCircuitSpec:
+        """Pick a random middle/exit pair to pin (Fig 3 methodology).
+
+        The entry is left to the caller: the paper colocated its own
+        guard and its own PT server so both vanilla Tor and the PT used
+        the *same host* as first hop.
+        """
+        path = self.client.paths.select(rng)
+        return PinnedCircuitSpec(entry=None, middle=path.middle, exit=path.exit)

@@ -1,0 +1,42 @@
+"""Guard persistence.
+
+Tor clients keep the same entry guard for weeks/months (the paper cites
+the guard spec when motivating its fixed-guard experiments). The
+manager picks one guard per client, bandwidth-weighted, and keeps it
+until explicitly rotated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.tor.consensus import Consensus
+from repro.tor.relay import Flag, Relay
+
+
+class GuardManager:
+    """Sticky guard selection for one client."""
+
+    def __init__(self, consensus: Consensus, rng: random.Random) -> None:
+        self.consensus = consensus
+        self._rng = rng
+        self._guard: Optional[Relay] = None
+
+    def current(self) -> Relay:
+        """The client's guard; selected on first use."""
+        if self._guard is None:
+            self._guard = self.consensus.sample(self._rng, flag=Flag.GUARD)
+        return self._guard
+
+    def pin(self, guard: Relay) -> None:
+        """Force a specific guard (experiment control)."""
+        self._guard = guard
+
+    def rotate(self) -> Relay:
+        """Drop the current guard and pick a fresh one."""
+        old = self._guard
+        exclude = {old.fingerprint} if old is not None else set()
+        self._guard = self.consensus.sample(self._rng, flag=Flag.GUARD,
+                                            exclude=exclude)
+        return self._guard

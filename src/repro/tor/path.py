@@ -1,0 +1,71 @@
+"""Circuit path selection (guard / middle / exit)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CircuitError
+from repro.tor.consensus import Consensus
+from repro.tor.relay import Flag, Relay
+
+
+@dataclass(frozen=True)
+class CircuitPath:
+    """An ordered (entry, middle, exit) triple.
+
+    ``entry`` may be a consensus guard or a PT bridge; ``middle`` and
+    ``exit`` always come from the consensus.
+    """
+
+    entry: Relay
+    middle: Relay
+    exit: Relay
+
+    def __post_init__(self) -> None:
+        names = {self.entry.fingerprint, self.middle.fingerprint, self.exit.fingerprint}
+        if len(names) != 3:
+            raise CircuitError("circuit hops must be distinct relays")
+
+    @property
+    def hops(self) -> tuple[Relay, Relay, Relay]:
+        return (self.entry, self.middle, self.exit)
+
+
+class PathSelector:
+    """Bandwidth-weighted path selection over a consensus.
+
+    Honours Tor's positional constraints: the exit needs the Exit flag,
+    the entry the Guard flag (unless an explicit entry — e.g. a PT
+    bridge — is supplied), and all hops must be distinct.
+    """
+
+    def __init__(self, consensus: Consensus) -> None:
+        self.consensus = consensus
+
+    def select(self, rng: random.Random, *,
+               entry: Optional[Relay] = None,
+               middle: Optional[Relay] = None,
+               exit: Optional[Relay] = None) -> CircuitPath:
+        """Build a path, filling any unpinned positions by sampling."""
+        exclude: set[str] = set()
+        for pinned in (entry, middle, exit):
+            if pinned is not None:
+                exclude.add(pinned.fingerprint)
+
+        chosen_exit = exit
+        if chosen_exit is None:
+            chosen_exit = self.consensus.sample(rng, flag=Flag.EXIT, exclude=exclude)
+            exclude.add(chosen_exit.fingerprint)
+
+        chosen_entry = entry
+        if chosen_entry is None:
+            chosen_entry = self.consensus.sample(rng, flag=Flag.GUARD, exclude=exclude)
+        exclude.add(chosen_entry.fingerprint)
+
+        chosen_middle = middle
+        if chosen_middle is None:
+            chosen_middle = self.consensus.sample(rng, exclude=exclude)
+
+        return CircuitPath(entry=chosen_entry, middle=chosen_middle, exit=chosen_exit)

@@ -1,0 +1,50 @@
+"""Unit constants and conversion helpers.
+
+The whole code base uses SI base conventions:
+
+* time is measured in **seconds** (floats),
+* data sizes in **bytes** (floats are tolerated for fluid-model math),
+* data rates in **bytes per second**.
+
+Helpers here exist so call sites read naturally (``mbit(50)`` instead of
+``50 * 125_000``).
+"""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+MS = 1e-3
+US = 1e-6
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+def kbit(n: float) -> float:
+    """Kilobits per second expressed in bytes per second."""
+    return n * 125.0
+
+
+def mbit(n: float) -> float:
+    """Megabits per second expressed in bytes per second."""
+    return n * 125_000.0
+
+
+def gbit(n: float) -> float:
+    """Gigabits per second expressed in bytes per second."""
+    return n * 125_000_000.0
+
+
+def mbytes(n: float) -> float:
+    """Megabytes expressed in bytes."""
+    return n * MB
+
+
+def seconds_to_ms(t: float) -> float:
+    """Convert seconds to milliseconds (used by the speed-index report)."""
+    return t * 1000.0

@@ -1,0 +1,50 @@
+"""Web substrate: site catalogs, servers, fetchers, speed index."""
+
+from repro.web.catalog import (
+    CBL_PARAMS,
+    STANDARD_FILE_SIZES_MB,
+    TRANCO_PARAMS,
+    CatalogParams,
+    make_cbl_catalog,
+    make_tranco_catalog,
+    standard_files,
+)
+from repro.web.fetch import (
+    EXTENDED_FILE_TIMEOUT_S,
+    FILE_TIMEOUT_S,
+    PAGE_TIMEOUT_S,
+    BrowserConfig,
+    browser_fetch,
+    curl_fetch,
+    file_fetch,
+)
+from repro.web.page import FileSpec, PageSpec, SubresourceSpec
+from repro.web.server import FileServer, OriginServer, ServerPool
+from repro.web.speedindex import speed_index_of, speed_index_s
+from repro.web.streaming import (
+    MediaSpec,
+    StreamResult,
+    playback_metrics,
+    standard_audio,
+    standard_video,
+    stream_fetch,
+)
+from repro.web.types import (
+    FetchResult,
+    RequestResult,
+    Status,
+    TransportChannel,
+    VisualEvent,
+)
+
+__all__ = [
+    "BrowserConfig", "CBL_PARAMS", "CatalogParams", "EXTENDED_FILE_TIMEOUT_S",
+    "FILE_TIMEOUT_S", "FetchResult", "FileServer", "FileSpec", "MediaSpec",
+    "OriginServer", "PAGE_TIMEOUT_S", "PageSpec", "RequestResult",
+    "STANDARD_FILE_SIZES_MB", "ServerPool", "Status", "StreamResult",
+    "SubresourceSpec", "TRANCO_PARAMS", "TransportChannel", "VisualEvent",
+    "browser_fetch", "curl_fetch", "file_fetch", "make_cbl_catalog",
+    "make_tranco_catalog", "playback_metrics", "speed_index_of",
+    "speed_index_s", "standard_audio", "standard_files", "standard_video",
+    "stream_fetch",
+]

@@ -1,0 +1,56 @@
+"""Page and file models.
+
+A website is a default document plus subresources (scripts, images,
+stylesheets) organised in dependency *waves*: resources at depth 1 are
+referenced by the main document, depth 2 by depth-1 resources, and so
+on. ``curl`` downloads only the default document; a browser loads the
+full tree — the structural reason the paper's selenium numbers exceed
+its curl numbers (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.geo import City
+
+
+@dataclass(frozen=True)
+class SubresourceSpec:
+    """One embedded resource of a page."""
+
+    rid: int
+    size_bytes: float
+    depth: int          # dependency wave (1 = referenced by main doc)
+    above_fold: bool    # visually relevant before scrolling
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """A website: default document plus its subresource tree."""
+
+    url: str
+    main_size_bytes: float
+    origin_city: City
+    resources: tuple[SubresourceSpec, ...] = ()
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes a full browser load transfers."""
+        return self.main_size_bytes + sum(r.size_bytes for r in self.resources)
+
+    @property
+    def max_depth(self) -> int:
+        return max((r.depth for r in self.resources), default=0)
+
+    def wave(self, depth: int) -> list[SubresourceSpec]:
+        """Subresources at a given dependency depth."""
+        return [r for r in self.resources if r.depth == depth]
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """A bulk-download target hosted on the experimenters' server."""
+
+    name: str
+    size_bytes: float

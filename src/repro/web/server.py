@@ -1,0 +1,59 @@
+"""Origin servers: websites and the experimenters' file host."""
+
+from __future__ import annotations
+
+import random
+
+from repro.simnet.background import ORIGIN_SERVER_LOAD, LoadModel
+from repro.simnet.geo import City
+from repro.simnet.resource import Resource
+from repro.simnet.rng import bounded_lognormal
+from repro.units import gbit
+
+
+class OriginServer:
+    """A web server with an uplink resource and processing latency."""
+
+    def __init__(self, city: City, *, name: str | None = None,
+                 capacity_bps: float = gbit(2),
+                 load_model: LoadModel = ORIGIN_SERVER_LOAD,
+                 processing_median_s: float = 0.12,
+                 processing_sigma: float = 0.5) -> None:
+        self.city = city
+        self.name = name or f"origin:{city.name}"
+        self.resource = Resource(self.name, capacity_bps,
+                                 background_load=load_model.mean)
+        self.processing_median_s = processing_median_s
+        self.processing_sigma = processing_sigma
+
+    def processing_delay(self, rng: random.Random) -> float:
+        """Server-side time to first byte (backend work)."""
+        return bounded_lognormal(rng, self.processing_median_s,
+                                 self.processing_sigma, lo=0.01, hi=5.0)
+
+
+class FileServer(OriginServer):
+    """The authors' own file host (Section 4.3): fast and unloaded."""
+
+    def __init__(self, city: City, *, capacity_bps: float = gbit(1)) -> None:
+        super().__init__(city, name=f"files:{city.name}",
+                         capacity_bps=capacity_bps,
+                         load_model=LoadModel(mean=0.0),
+                         processing_median_s=0.03, processing_sigma=0.3)
+
+
+class ServerPool:
+    """Caches one OriginServer per city (websites share datacentres)."""
+
+    def __init__(self) -> None:
+        self._servers: dict[City, OriginServer] = {}
+
+    def get(self, city: City) -> OriginServer:
+        server = self._servers.get(city)
+        if server is None:
+            server = OriginServer(city)
+            self._servers[city] = server
+        return server
+
+    def __len__(self) -> int:
+        return len(self._servers)

@@ -1,0 +1,167 @@
+"""Media streaming over pluggable transports (paper future work, A.4).
+
+The paper evaluates website access and bulk downloads and explicitly
+leaves "other use cases, e.g., audio streaming" to future work. This
+module implements that use case: an HLS-style player that downloads
+fixed-duration media segments sequentially through a transport channel
+and measures what streaming actually cares about — startup delay,
+stalls, and the fraction of the stream delivered.
+
+The player model is deliberately simple (sequential segment fetches, a
+startup buffer, linear playback) but exercises exactly the channel
+properties the paper identified as decisive: per-request latency
+(camoufler's IM relay), throughput ceilings (dnstt's DNS responses),
+and session failures (snowflake's proxy churn).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ChannelFailed, ProcessTimeout, TransferAborted
+from repro.simnet.session import GetTime
+from repro.units import kbit, mbit
+from repro.web.types import TransportChannel
+
+#: Upstream bytes per segment request (HTTP GET with range headers).
+_SEGMENT_REQUEST_BYTES = 500.0
+
+
+@dataclass(frozen=True)
+class MediaSpec:
+    """A media object served as fixed-duration segments."""
+
+    name: str
+    duration_s: float
+    bitrate_bps: float          # bytes/second of encoded media
+    segment_duration_s: float = 4.0
+
+    @property
+    def n_segments(self) -> int:
+        return max(1, math.ceil(self.duration_s / self.segment_duration_s))
+
+    @property
+    def segment_bytes(self) -> float:
+        return self.bitrate_bps * self.segment_duration_s
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bitrate_bps * self.duration_s
+
+
+def standard_audio() -> MediaSpec:
+    """A 3-minute 128 kbit/s audio stream (podcast/music)."""
+    return MediaSpec("audio-128k-180s", duration_s=180.0,
+                     bitrate_bps=kbit(128))
+
+
+def standard_video() -> MediaSpec:
+    """A 2-minute 2.5 Mbit/s video stream (SD/HD boundary)."""
+    return MediaSpec("video-2.5m-120s", duration_s=120.0,
+                     bitrate_bps=mbit(2.5))
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one streaming session."""
+
+    media: str
+    completed: bool
+    segments_total: int
+    segments_delivered: int
+    segment_duration_s: float
+    startup_delay_s: Optional[float]   # None if playback never started
+    stall_count: int
+    stall_time_s: float
+    duration_s: float                  # wall time of the whole session
+    failure_reason: Optional[str] = None
+
+    @property
+    def fraction_delivered(self) -> float:
+        if self.segments_total == 0:
+            return 1.0
+        return self.segments_delivered / self.segments_total
+
+    @property
+    def played_media_s(self) -> float:
+        """Seconds of media content that reached the player."""
+        return self.segments_delivered * self.segment_duration_s
+
+    @property
+    def stall_ratio(self) -> float:
+        """Stall time per second of played media (0 = smooth)."""
+        if self.played_media_s <= 0:
+            return 1.0
+        return self.stall_time_s / self.played_media_s
+
+    @property
+    def smooth(self) -> bool:
+        """Playback started promptly and never stalled."""
+        return (self.completed and self.stall_count == 0
+                and self.startup_delay_s is not None
+                and self.startup_delay_s < 10.0)
+
+
+def playback_metrics(completion_times: list[float],
+                     segment_duration_s: float,
+                     startup_segments: int,
+                     ) -> tuple[Optional[float], int, float]:
+    """Startup delay and stall statistics from segment arrival times.
+
+    Playback begins when ``startup_segments`` are buffered (startup
+    delay = that segment's arrival). Afterwards the player consumes one
+    segment per ``segment_duration_s``; whenever the next segment has
+    not arrived by the time the previous one finishes playing, playback
+    pauses (one stall) until it arrives.
+    """
+    if len(completion_times) < startup_segments or startup_segments < 1:
+        return None, 0, 0.0
+    startup = completion_times[startup_segments - 1]
+    stall_count = 0
+    stall_time = 0.0
+    # Wall-clock time at which the player *needs* the next segment: the
+    # buffered startup segments play back-to-back first.
+    need_at = startup + startup_segments * segment_duration_s
+    for index in range(startup_segments, len(completion_times)):
+        arrival = completion_times[index]
+        if arrival > need_at:
+            stall_count += 1
+            stall_time += arrival - need_at
+            need_at = arrival
+        need_at += segment_duration_s
+    return startup, stall_count, stall_time
+
+
+def stream_fetch(channel: TransportChannel, media: MediaSpec, *,
+                 startup_segments: int = 2) -> Iterator:
+    """Stream ``media`` through ``channel``; returns a StreamResult."""
+    session_start = yield GetTime()
+    completion_times: list[float] = []
+    failure_reason: Optional[str] = None
+    try:
+        yield from channel.connect_process()
+        for _segment in range(media.n_segments):
+            yield from channel.request_process(
+                _SEGMENT_REQUEST_BYTES, media.segment_bytes)
+            now = yield GetTime()
+            completion_times.append(now - session_start)
+    except (TransferAborted, ChannelFailed, ProcessTimeout) as exc:
+        failure_reason = getattr(exc, "reason", type(exc).__name__)
+    end = yield GetTime()
+
+    startup, stall_count, stall_time = playback_metrics(
+        completion_times, media.segment_duration_s, startup_segments)
+    delivered = len(completion_times)
+    return StreamResult(
+        media=media.name,
+        completed=(delivered == media.n_segments),
+        segments_total=media.n_segments,
+        segments_delivered=delivered,
+        segment_duration_s=media.segment_duration_s,
+        startup_delay_s=startup,
+        stall_count=stall_count,
+        stall_time_s=stall_time,
+        duration_s=end - session_start,
+        failure_reason=failure_reason)

@@ -1,0 +1,104 @@
+"""Shared types for the web layer: fetch statuses, results, and the
+transport-channel protocol that pluggable transports implement.
+
+Fetchers (curl-like, browser-like) are written against
+:class:`TransportChannel` only, so any PT — or vanilla Tor — can carry
+any workload, exactly as in the paper's harness where ``curl`` talks to
+a local SOCKS port regardless of which transport sits behind it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+
+class Status(enum.Enum):
+    """Outcome of one measurement (the paper's Section 4.6 taxonomy)."""
+
+    COMPLETE = "complete"
+    PARTIAL = "partial"
+    FAILED = "failed"
+
+    @classmethod
+    def from_bytes(cls, received: float, expected: float) -> "Status":
+        """Classify an outcome from byte counts."""
+        if expected <= 0 or received >= expected:
+            return cls.COMPLETE
+        if received <= 0:
+            return cls.FAILED
+        return cls.PARTIAL
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """One HTTP request/response over a channel."""
+
+    ttfb_s: float
+    duration_s: float
+    nbytes: float
+
+
+@dataclass
+class VisualEvent:
+    """A visually relevant load completion (feeds the speed index)."""
+
+    time_s: float          # relative to fetch start
+    weight: float          # contribution to visual completeness
+    above_fold: bool
+
+
+@dataclass
+class FetchResult:
+    """Outcome of fetching one target (page or file) via a channel."""
+
+    target: str
+    status: Status
+    duration_s: float
+    ttfb_s: float | None
+    bytes_expected: float
+    bytes_received: float
+    resources_total: int = 0
+    resources_fetched: int = 0
+    failure_reason: str | None = None
+    visual_events: list[VisualEvent] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.COMPLETE
+
+    @property
+    def fraction_downloaded(self) -> float:
+        """Portion of expected bytes delivered (Fig 8b's quantity)."""
+        if self.bytes_expected <= 0:
+            return 1.0
+        return min(1.0, self.bytes_received / self.bytes_expected)
+
+
+class TransportChannel(Protocol):
+    """What a pluggable-transport channel must provide to fetchers.
+
+    One channel corresponds to one PT client session: connect once, then
+    issue any number of (possibly concurrent) requests over it.
+    """
+
+    #: Maximum concurrent streams the transport can multiplex; browsers
+    #: use up to six, camoufler only one (no selenium support).
+    max_parallel_streams: int
+    #: Whether browser automation works over this PT at all.
+    supports_browser: bool
+
+    def connect_process(self) -> Iterator:
+        """Generator: establish the PT session + Tor circuit."""
+        ...
+
+    def request_process(self, upload_bytes: float, download_bytes: float, *,
+                        weight: float = 1.0) -> Iterator:
+        """Generator: one request/response; returns RequestResult.
+
+        Raises :class:`~repro.errors.TransferAborted` (mid-transfer
+        failure) or :class:`~repro.errors.ChannelFailed` (session-level
+        failure) for the reliability paths.
+        """
+        ...

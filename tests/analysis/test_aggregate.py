@@ -1,0 +1,114 @@
+"""Unit tests for the aggregation bridge (records -> statistics)."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    box_by_pt,
+    category_ttests,
+    ecdf_by_pt,
+    mean_by_pt,
+    reliability_by_pt,
+    ttest_matrix,
+)
+from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+from repro.web.types import Status
+
+
+def rec(pt, target, duration, *, category="baseline", ttfb=1.0,
+        status=Status.COMPLETE, method=Method.CURL, si=None):
+    return MeasurementRecord(
+        pt=pt, category=category, target=target, kind=TargetKind.WEBSITE,
+        method=method, client_city="London", server_city="Frankfurt",
+        medium="wired", duration_s=duration, status=status,
+        bytes_expected=100.0,
+        bytes_received=100.0 if status is Status.COMPLETE else 10.0,
+        ttfb_s=ttfb, speed_index_s=si)
+
+
+@pytest.fixture()
+def results():
+    rs = ResultSet()
+    for target, base in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+        rs.append(rec("tor", target, base))
+        rs.append(rec("tor", target, base + 0.2))
+        rs.append(rec("dnstt", target, base + 2.0, category="tunneling"))
+        rs.append(rec("dnstt", target, base + 2.4, category="tunneling"))
+        rs.append(rec("obfs4", target, base - 0.5,
+                      category="fully encrypted"))
+        rs.append(rec("obfs4", target, base - 0.3,
+                      category="fully encrypted"))
+    return rs
+
+
+def test_mean_by_pt_uses_per_target_means(results):
+    means = mean_by_pt(results)
+    assert means["tor"] == pytest.approx(2.1)       # mean of 1.1, 2.1, 3.1
+    assert means["dnstt"] == pytest.approx(4.2)
+    assert means["obfs4"] == pytest.approx(1.6)
+
+
+def test_box_by_pt_median(results):
+    boxes = box_by_pt(results)
+    assert boxes["tor"].median == pytest.approx(2.1)
+    assert boxes["tor"].n == 3  # three targets
+
+
+def test_ttest_matrix_all_pairs(results):
+    tests = ttest_matrix(results)
+    assert set(tests) == {"Tor-Dnstt", "Tor-Obfs4", "Dnstt-Obfs4"}
+    assert tests["Tor-Dnstt"].mean_diff == pytest.approx(-2.1)
+    assert tests["Tor-Obfs4"].mean_diff == pytest.approx(0.5)
+
+
+def test_ttest_matrix_explicit_pairs(results):
+    tests = ttest_matrix(results, pairs=[("obfs4", "tor")])
+    assert list(tests) == ["Obfs4-Tor"]
+    assert tests["Obfs4-Tor"].mean_diff == pytest.approx(-0.5)
+
+
+def test_category_ttests_label_baseline_as_tor(results):
+    tests = category_ttests(results)
+    labels = set()
+    for pair in tests:
+        labels.update(pair.split("-", 1))
+    assert "Tor" in labels
+    assert "tunneling" in labels
+    assert "fully encrypted" in labels
+    # Tor (2.1) vs tunneling (4.2): tunneling slower.
+    key = "Tor-tunneling" if "Tor-tunneling" in tests else "tunneling-Tor"
+    diff = tests[key].mean_diff
+    expected = -2.1 if key.startswith("Tor") else 2.1
+    assert diff == pytest.approx(expected)
+
+
+def test_ecdf_by_pt_skips_missing_values():
+    rs = ResultSet([rec("tor", "a", 1.0, ttfb=0.5),
+                    rec("tor", "b", 1.0, ttfb=None)])
+    ecdfs = ecdf_by_pt(rs, value="ttfb_s")
+    assert ecdfs["tor"].n == 1
+
+
+def test_reliability_by_pt():
+    rs = ResultSet([
+        rec("meek", "f", 10.0, status=Status.PARTIAL),
+        rec("meek", "f", 10.0, status=Status.COMPLETE),
+        rec("obfs4", "f", 5.0, status=Status.COMPLETE),
+    ])
+    fractions = reliability_by_pt(rs)
+    assert fractions["meek"][Status.PARTIAL] == pytest.approx(0.5)
+    assert fractions["obfs4"][Status.COMPLETE] == 1.0
+
+
+def test_mean_by_pt_respects_method_filter():
+    rs = ResultSet([
+        rec("tor", "a", 1.0, method=Method.CURL),
+        rec("tor", "a", 10.0, method=Method.SELENIUM),
+    ])
+    assert mean_by_pt(rs, method=Method.CURL)["tor"] == pytest.approx(1.0)
+    assert mean_by_pt(rs, method=Method.SELENIUM)["tor"] == pytest.approx(10.0)
+
+
+def test_mean_by_pt_other_values():
+    rs = ResultSet([rec("tor", "a", 5.0, si=2.0, method=Method.BROWSERTIME)])
+    means = mean_by_pt(rs, value="speed_index_s", method=Method.BROWSERTIME)
+    assert means["tor"] == pytest.approx(2.0)

@@ -1,0 +1,91 @@
+"""Unit tests for ECDF and box statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.boxstats import BoxStats
+from repro.analysis.ecdf import ECDF
+
+
+def test_ecdf_basic_evaluation():
+    e = ECDF.from_values([1.0, 2.0, 3.0, 4.0])
+    assert e.evaluate(0.5) == 0.0
+    assert e.evaluate(1.0) == 0.25
+    assert e.evaluate(2.5) == 0.5
+    assert e.evaluate(4.0) == 1.0
+    assert e.evaluate(100.0) == 1.0
+
+
+def test_ecdf_quantiles():
+    e = ECDF.from_values(list(range(1, 101)))
+    assert e.quantile(0.5) == 50
+    assert e.quantile(0.9) == 90
+    assert e.quantile(1.0) == 100
+
+
+def test_ecdf_with_duplicates():
+    e = ECDF.from_values([5.0, 5.0, 5.0, 10.0])
+    assert e.evaluate(5.0) == 0.75
+    assert e.evaluate(9.9) == 0.75
+
+
+def test_ecdf_series_downsamples():
+    e = ECDF.from_values(list(range(1000)))
+    series = e.series(points=20)
+    assert len(series) == 20
+    assert series[-1] == (999, 1.0)
+
+
+def test_ecdf_rejects_empty():
+    with pytest.raises(ValueError):
+        ECDF.from_values([])
+    with pytest.raises(ValueError):
+        ECDF.from_values([1.0]).quantile(0.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_ecdf_monotone_and_bounded(values):
+    e = ECDF.from_values(values)
+    assert all(p1 <= p2 for p1, p2 in zip(e.ps, e.ps[1:]))
+    assert e.ps[-1] == pytest.approx(1.0)
+    assert all(x1 <= x2 for x1, x2 in zip(e.xs, e.xs[1:]))
+
+
+def test_boxstats_known_values():
+    b = BoxStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert b.median == 3.0
+    assert b.q1 == 2.0
+    assert b.q3 == 4.0
+    assert b.mean == 3.0
+    assert b.outliers == 0
+
+
+def test_boxstats_detects_outliers():
+    b = BoxStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0, 100.0])
+    assert b.outliers == 1
+    assert b.whisker_high == 5.0
+
+
+def test_boxstats_single_value():
+    b = BoxStats.from_values([7.0])
+    assert b.median == b.q1 == b.q3 == b.mean == 7.0
+    assert b.n == 1
+
+
+def test_boxstats_rejects_empty():
+    with pytest.raises(ValueError):
+        BoxStats.from_values([])
+
+
+@given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=2,
+                max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_boxstats_ordering_invariants(values):
+    b = BoxStats.from_values(values)
+    assert b.whisker_low <= b.q1 <= b.median <= b.q3 <= b.whisker_high
+    span = max(abs(min(values)), abs(max(values)), 1e-12)
+    assert min(values) - 1e-9 * span <= b.mean <= max(values) + 1e-9 * span
+    assert 0 <= b.outliers < b.n

@@ -1,0 +1,53 @@
+"""Unit tests for table rendering."""
+
+from repro.analysis.stats import paired_t_test
+from repro.analysis.tables import (
+    comparison_rows,
+    format_p,
+    format_value,
+    render_table,
+    ttest_table,
+)
+
+
+def test_render_table_aligns_columns():
+    text = render_table(["name", "value"], [["a", 1.23456], ["long-name", 2.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "1.235" in text
+
+
+def test_format_value_handles_types():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(1.5, precision=1) == "1.5"
+    assert format_value("x") == "x"
+
+
+def test_format_p_paper_convention():
+    assert format_p(0.0001) == "<.001"
+    assert format_p(0.5) == "0.50"
+    assert format_p(0.004) == "0.004"
+
+
+def test_ttest_table_contains_paper_columns():
+    a = [1.0, 1.2, 0.9, 1.1] * 5
+    b = [3.0, 3.3, 2.8, 3.1] * 5
+    text = ttest_table({"Tor-Dnstt": paired_t_test(a, b)})
+    assert "PT Pair" in text
+    assert "CI Lower" in text
+    assert "Tor-Dnstt" in text
+    assert "<.001" in text
+
+
+def test_comparison_rows_reports_ratio():
+    text = comparison_rows({"obfs4": 2.4}, {"obfs4": 2.0})
+    assert "obfs4" in text
+    assert "0.83" in text  # 2.0 / 2.4
+
+
+def test_comparison_rows_missing_measured():
+    text = comparison_rows({"x": 1.0}, {})
+    assert "-" in text

@@ -1,0 +1,251 @@
+"""Calibration tests: the simulation must stay inside the paper's bands.
+
+These are the contract between the simulator and the paper: orderings
+must match exactly; magnitudes must sit in loose bands around the
+paper's reported numbers (the substrate is a simulator, not the
+authors' testbed, so we check shape, not identity).
+
+All assertions reference a specific claim in the paper (cited inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ecdf_by_pt, mean_by_pt
+from repro.core import World, WorldConfig
+from repro.measure import CampaignRunner, Method, post_september_level
+from repro.measure.ethics import PacingPolicy
+from repro.web.types import Status
+
+_FAST = PacingPolicy(gap_between_accesses_s=0.5, batch_size=0)
+
+
+@pytest.fixture(scope="module")
+def curl_means():
+    world = World(WorldConfig(seed=101, tranco_size=40, cbl_size=20))
+    runner = CampaignRunner(world, pacing=_FAST)
+    sites = list(world.tranco[:30]) + list(world.cbl[:15])
+    results = runner.run_website_campaign(list(world.transports), sites,
+                                          method=Method.CURL, repetitions=2)
+    return mean_by_pt(results), results
+
+
+@pytest.fixture(scope="module")
+def selenium_means():
+    # Selenium measurements ran from November 2022 => snowflake overloaded.
+    world = World(WorldConfig(seed=102, snowflake_surge=post_september_level(),
+                              tranco_size=30, cbl_size=10))
+    runner = CampaignRunner(world, pacing=_FAST)
+    results = runner.run_website_campaign(
+        list(world.transports), world.tranco[:25],
+        method=Method.SELENIUM, repetitions=1)
+    return mean_by_pt(results), results
+
+
+@pytest.fixture(scope="module")
+def file_results():
+    world = World(WorldConfig(seed=103, snowflake_surge=post_september_level(),
+                              tranco_size=4, cbl_size=4))
+    runner = CampaignRunner(world, pacing=_FAST)
+    return world, runner.run_file_campaign(
+        list(world.transports), world.files, attempts=6)
+
+
+# -- curl (Figure 2a / intro) ------------------------------------------------
+
+
+def test_curl_vanilla_tor_band(curl_means):
+    """Intro: vanilla Tor averaged 2.3s per default page via curl."""
+    means, _ = curl_means
+    assert 1.5 < means["tor"] < 3.6
+
+
+def test_curl_magnitudes_match_intro(curl_means):
+    """Intro: dnstt 4.4s, meek 5.8s, camoufler 12.8s, marionette 20.8s."""
+    means, _ = curl_means
+    assert 3.0 < means["dnstt"] < 6.5
+    assert 4.0 < means["meek"] < 8.5
+    assert 9.0 < means["camoufler"] < 17.0
+    assert 15.0 < means["marionette"] < 29.0
+
+
+def test_curl_fast_group_near_tor(curl_means):
+    """Tables 3-4: obfs4/cloak/conjure/shadowsocks/webtunnel stay within
+    a couple of seconds of vanilla Tor (obfs4 on the fast side)."""
+    means, _ = curl_means
+    for pt in ("obfs4", "cloak", "conjure", "shadowsocks", "webtunnel"):
+        assert abs(means[pt] - means["tor"]) < 2.2, pt
+
+
+def test_curl_obfs4_not_slower_than_tor(curl_means):
+    """Table 3: Tor-Obfs4 mean diff +1.13 — obfs4 is the faster one."""
+    means, _ = curl_means
+    assert means["obfs4"] <= means["tor"] + 0.2
+
+
+def test_curl_ordering_of_slow_transports(curl_means):
+    """§4.2: marionette worst; camoufler worst tunneling; meek worst
+    proxy-layer."""
+    means, _ = curl_means
+    assert means["marionette"] == max(means.values())
+    assert means["camoufler"] > means["dnstt"]
+    assert means["camoufler"] > means["webtunnel"]
+    assert means["meek"] > means["snowflake"]
+    assert means["meek"] > means["conjure"]
+    assert means["meek"] > means["psiphon"]
+
+
+def test_curl_category_ordering(curl_means):
+    """Table 10: fully-encrypted and proxy-layer beat tunneling and
+    mimicry on average."""
+    means, results = curl_means
+    from repro.pts.registry import by_category
+    from repro.pts.base import Category
+
+    def category_mean(category):
+        names = by_category(category)
+        return sum(means[n] for n in names) / len(names)
+
+    fully = category_mean(Category.FULLY_ENCRYPTED)
+    proxy = category_mean(Category.PROXY_LAYER)
+    tunneling = category_mean(Category.TUNNELING)
+    mimicry = category_mean(Category.MIMICRY)
+    assert fully < tunneling
+    assert fully < mimicry
+    assert proxy < mimicry
+
+
+# -- selenium (Figure 2b) ---------------------------------------------------
+
+
+def test_selenium_slower_than_curl(curl_means, selenium_means):
+    """§4.2: browser loads take longer than curl for every PT."""
+    curl, _ = curl_means
+    selenium, _ = selenium_means
+    for pt, mean in selenium.items():
+        assert mean > curl[pt], pt
+
+
+def test_selenium_pts_beating_vanilla_tor(selenium_means):
+    """§4.2.1 headline: obfs4, webtunnel and conjure load pages *faster*
+    than vanilla Tor under selenium."""
+    means, _ = selenium_means
+    for pt in ("obfs4", "webtunnel", "conjure"):
+        assert means[pt] < means["tor"], pt
+
+
+def test_selenium_snowflake_overloaded(selenium_means):
+    """§4.2/5.3: snowflake's selenium numbers are far worse than
+    conjure's (server overload, median 32s vs 13.7s)."""
+    means, _ = selenium_means
+    assert means["snowflake"] > 1.5 * means["conjure"]
+
+
+def test_selenium_worst_performers(selenium_means):
+    """Figure 2b: meek and marionette dominate the top of the plot."""
+    means, _ = selenium_means
+    assert means["meek"] > means["snowflake"]
+    assert means["marionette"] == max(means.values())
+
+
+def test_selenium_excludes_camoufler(selenium_means):
+    """§4.2: camoufler cannot serve selenium's parallel requests."""
+    means, _ = selenium_means
+    assert "camoufler" not in means
+
+
+# -- files (Figure 5, §4.3) -----------------------------------------------
+
+
+def test_file_fast_group(file_results):
+    """§4.3: obfs4, cloak, psiphon, webtunnel form the fast group."""
+    world, results = file_results
+    complete = results.filter(status=Status.COMPLETE)
+    fast = {}
+    for pt in ("obfs4", "cloak", "psiphon", "webtunnel"):
+        sub = complete.filter(pt=pt, target="file-50mb")
+        assert sub, f"{pt} must complete 50MB downloads"
+        fast[pt] = sub.mean_duration()
+    # Paper: obfs4 64s, cloak 53s for 50 MB.
+    assert 30 < fast["obfs4"] < 130
+    assert 30 < fast["cloak"] < 130
+
+
+def test_file_camoufler_about_3x_obfs4(file_results):
+    """§4.3: camoufler took ~3x obfs4's time (173s vs 64s at 50MB)."""
+    world, results = file_results
+    complete = results.filter(status=Status.COMPLETE)
+    camoufler = complete.filter(pt="camoufler", target="file-50mb")
+    obfs4 = complete.filter(pt="obfs4", target="file-50mb")
+    assert camoufler and obfs4
+    ratio = camoufler.mean_duration() / obfs4.mean_duration()
+    assert 1.6 < ratio < 6.0
+
+
+def test_file_unreliable_trio(file_results):
+    """§4.6/Figure 8a: dnstt, meek, snowflake fail to complete >80% of
+    file downloads."""
+    world, results = file_results
+    for pt in ("dnstt", "meek", "snowflake"):
+        fractions = results.filter(pt=pt).status_fractions()
+        incomplete = fractions[Status.PARTIAL] + fractions[Status.FAILED]
+        assert incomplete > 0.7, (pt, fractions)
+
+
+def test_file_meek_and_camoufler_outright_failures(file_results):
+    """Figure 8a: meek and camoufler fail outright in ~10% of attempts.
+
+    The statistical check spans both PTs combined (60 attempts) so a
+    lucky seed cannot zero it out; the per-PT failure *mechanism* is
+    asserted via the configured connect-failure probability.
+    """
+    from repro.pts.registry import make_transport
+    for pt in ("meek", "camoufler"):
+        prob = make_transport(pt).params.connect_failure_prob
+        assert 0.03 < prob < 0.2, pt
+    world, results = file_results
+    failed = sum(results.filter(pt=pt).status_fractions()[Status.FAILED]
+                 for pt in ("meek", "camoufler")) / 2
+    assert 0.01 < failed < 0.35
+
+
+def test_file_reliable_rest(file_results):
+    """§4.6: the remaining PTs download files reliably."""
+    world, results = file_results
+    for pt in ("obfs4", "cloak", "psiphon", "webtunnel", "shadowsocks",
+               "stegotorus", "conjure", "tor"):
+        fractions = results.filter(pt=pt).status_fractions()
+        assert fractions[Status.COMPLETE] > 0.7, (pt, fractions)
+
+
+def test_file_marionette_slowest(file_results):
+    """Table 7: marionette's download times dwarf every other PT's."""
+    world, results = file_results
+    complete = results.filter(status=Status.COMPLETE, target="file-20mb")
+    mario = complete.filter(pt="marionette")
+    obfs4 = complete.filter(pt="obfs4")
+    assert mario and obfs4
+    assert mario.mean_duration() > 4 * obfs4.mean_duration()
+
+
+# -- TTFB (Figure 6) ---------------------------------------------------------
+
+
+def test_ttfb_bands(curl_means):
+    """Figure 6: most PTs deliver the first byte within 5s for >80% of
+    sites; marionette exceeds 20s for ~40%; meek sits between 2.5-7.5s."""
+    _, results = curl_means
+    ecdfs = ecdf_by_pt(results, value="ttfb_s")
+    # The paper's "more than 80%" claim, with tolerance for our smaller
+    # sample (45 sites instead of 1000).
+    for pt in ("tor", "obfs4", "cloak", "shadowsocks", "webtunnel",
+               "conjure", "dnstt", "snowflake", "psiphon", "stegotorus"):
+        assert ecdfs[pt].fraction_below(5.0) > 0.7, pt
+    mario_over_20 = 1.0 - ecdfs["marionette"].fraction_below(20.0)
+    assert 0.15 < mario_over_20 < 0.65
+    meek = ecdfs["meek"]
+    inside = meek.fraction_below(7.5) - meek.fraction_below(2.5)
+    assert inside > 0.6
+    camoufler = ecdfs["camoufler"]
+    assert camoufler.quantile(0.5) > 5.0

@@ -1,0 +1,119 @@
+"""Tests for the experiment registry (every figure/table runs)."""
+
+import pytest
+
+from repro.core.config import Scale
+from repro.core.experiments import EXPERIMENTS, list_experiments, run_experiment
+from repro.errors import ConfigError
+
+TINY = Scale.tiny()
+
+#: Experiments and the paper artefact they regenerate.
+EXPECTED_IDS = {
+    "table1", "table2", "fig2a", "fig2b", "tables3_4", "tables5_6",
+    "table10", "fig3a", "fig3b", "fig4", "fig9", "fig5", "table7", "fig6",
+    "fig7", "fig8a", "fig8b", "fig10a", "fig10b", "fig12", "fig11",
+    "tables8_9", "medium",
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(EXPERIMENTS) == EXPECTED_IDS
+
+
+def test_every_experiment_has_paper_reference():
+    for definition in list_experiments():
+        assert definition.paper_ref
+        assert definition.title
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigError):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+def test_experiment_runs_and_reports(experiment_id):
+    result = run_experiment(experiment_id, seed=5, scale=TINY)
+    assert result.experiment_id == experiment_id
+    assert result.text.strip()
+    assert result.metrics
+    assert result.paper
+    comparison = result.comparison()
+    assert "paper" in comparison and "measured" in comparison
+
+
+def test_experiments_deterministic_given_seed():
+    a = run_experiment("fig2a", seed=11, scale=TINY)
+    b = run_experiment("fig2a", seed=11, scale=TINY)
+    assert a.metrics == b.metrics
+
+
+def test_experiments_vary_with_seed():
+    a = run_experiment("fig2a", seed=11, scale=TINY)
+    b = run_experiment("fig2a", seed=12, scale=TINY)
+    assert a.metrics != b.metrics
+
+
+def test_fig3a_fixed_circuit_parity():
+    """On identical circuits the PT/Tor gap collapses (paper Figure 3a)."""
+    result = run_experiment("fig3a", seed=21, scale=Scale(
+        n_sites=6, site_repetitions=1, file_attempts=2,
+        fixed_circuit_iterations=25))
+    means = [result.metrics[f"mean:{pt}"]
+             for pt in ("tor", "obfs4", "webtunnel")]
+    spread = max(means) - min(means)
+    assert spread < 0.35 * min(means)
+
+
+def test_fig3b_most_diffs_small():
+    result = run_experiment("fig3b", seed=22, scale=Scale(
+        n_sites=6, site_repetitions=1, file_attempts=2,
+        fixed_circuit_iterations=25))
+    assert result.metrics["frac_below_5s"] > 0.7
+
+
+def test_fig4_fixed_guard_parity():
+    result = run_experiment("fig4", seed=23, scale=Scale(
+        n_sites=20, site_repetitions=1, file_attempts=2,
+        fixed_circuit_iterations=5))
+    assert 0.7 < result.metrics["ratio"] < 1.3
+
+
+def test_fig9_marionette_overhead_dominates():
+    result = run_experiment("fig9", seed=24, scale=Scale(
+        n_sites=10, site_repetitions=1, file_attempts=2,
+        fixed_circuit_iterations=5))
+    mario = result.metrics["overhead:marionette"]
+    assert mario > 8.0
+    for pt in ("obfs4", "cloak", "shadowsocks", "webtunnel"):
+        assert abs(result.metrics[f"overhead:{pt}"]) < 0.35 * mario, pt
+
+
+def test_fig10b_surge_degrades_snowflake():
+    result = run_experiment("fig10b", seed=25, scale=Scale(
+        n_sites=15, site_repetitions=2, file_attempts=2,
+        fixed_circuit_iterations=5))
+    assert result.metrics["mean:post"] > result.metrics["mean:pre"]
+
+
+def test_fig12_all_weeks_slower_than_pre():
+    result = run_experiment("fig12", seed=26, scale=Scale(
+        n_sites=10, site_repetitions=2, file_attempts=2,
+        fixed_circuit_iterations=5))
+    assert result.metrics["all_weeks_above_pre"] == 1.0
+
+
+def test_fig11_speed_index_below_load_time():
+    result = run_experiment("fig11", seed=27, scale=TINY)
+    assert result.metrics["si_below_load_everywhere"] == 1.0
+
+
+def test_medium_ordering_preserved():
+    result = run_experiment("medium", seed=28, scale=Scale(
+        n_sites=20, site_repetitions=2, file_attempts=2,
+        fixed_circuit_iterations=5))
+    # The paper's finding: switching to WiFi does not change PT ordering
+    # (we tolerate adjacent swaps only through the ratio checks).
+    for pt in ("obfs4", "meek", "dnstt"):
+        assert 0.7 < result.metrics[f"ratio:{pt}"] < 1.5

@@ -1,0 +1,56 @@
+"""Tests for the PTPerf facade."""
+
+import pytest
+
+from repro import PTPerf, Scale
+from repro.measure.records import Method, TargetKind
+from repro.web.types import Status
+
+
+@pytest.fixture()
+def perf():
+    return PTPerf(seed=4, scale=Scale.tiny())
+
+
+def test_list_experiments_is_static():
+    assert len(PTPerf.list_experiments()) == 23
+
+
+def test_run_by_id(perf):
+    result = perf.run("table2")
+    assert result.experiment_id == "table2"
+    assert result.metrics["total"] == 28.0
+
+
+def test_website_access_returns_means(perf):
+    means = perf.website_access(["tor", "obfs4"], n_sites=5, repetitions=1)
+    assert set(means) == {"tor", "obfs4"}
+    assert all(v > 0 for v in means.values())
+
+
+def test_website_access_selenium_method(perf):
+    means = perf.website_access(["tor"], n_sites=3, repetitions=1,
+                                method=Method.SELENIUM)
+    assert means["tor"] > 0
+
+
+def test_file_download_returns_resultset(perf):
+    results = perf.file_download(["obfs4"], attempts=2)
+    assert len(results) == 2 * 5  # 5 sizes
+    assert all(r.kind is TargetKind.FILE for r in results)
+    complete = results.filter(status=Status.COMPLETE)
+    assert complete
+
+
+def test_make_world_applies_overrides(perf):
+    world = perf.make_world(tranco_size=3, cbl_size=3)
+    assert len(world.tranco) == 3
+    assert world.config.seed == 4
+
+
+def test_facade_seed_controls_results():
+    a = PTPerf(seed=1).website_access(["tor"], n_sites=3, repetitions=1)
+    b = PTPerf(seed=1).website_access(["tor"], n_sites=3, repetitions=1)
+    c = PTPerf(seed=2).website_access(["tor"], n_sites=3, repetitions=1)
+    assert a == b
+    assert a != c

@@ -1,0 +1,104 @@
+"""Unit tests for World construction and lifecycle."""
+
+import pytest
+
+from repro.core.config import Scale, WorldConfig
+from repro.core.world import World
+from repro.errors import ConfigError
+from repro.simnet.geo import Cities, Medium
+from repro.web.types import Status
+
+
+@pytest.fixture()
+def world():
+    return World(WorldConfig(seed=3, tranco_size=8, cbl_size=8))
+
+
+def test_world_wires_all_transports(world):
+    assert set(world.transports) == set(world.config.transports)
+    for name, transport in world.transports.items():
+        assert transport.ctx is not None, name
+
+
+def test_world_deterministic_catalogs():
+    a = World(WorldConfig(seed=9, tranco_size=5, cbl_size=5))
+    b = World(WorldConfig(seed=9, tranco_size=5, cbl_size=5))
+    assert [p.main_size_bytes for p in a.tranco] == \
+        [p.main_size_bytes for p in b.tranco]
+
+
+def test_unknown_transport_rejected(world):
+    with pytest.raises(ConfigError):
+        world.transport("quantum-tunnel")
+
+
+def test_origin_servers_pooled_by_city(world):
+    s1 = world.origin_server(Cities.NEW_YORK)
+    s2 = world.origin_server(Cities.NEW_YORK)
+    s3 = world.origin_server(Cities.FRANKFURT)
+    assert s1 is s2
+    assert s1 is not s3
+
+
+def test_begin_measurement_resamples_loads(world):
+    relay = world.consensus.relays[0]
+    loads = set()
+    for _ in range(5):
+        world.begin_measurement()
+        loads.add(relay.resource.background_load)
+    assert len(loads) > 1
+
+
+def test_fetch_page_curl_end_to_end(world):
+    result = world.fetch_page_curl("tor", world.tranco[0])
+    assert result.status is Status.COMPLETE
+    assert result.duration_s > 0
+    assert result.ttfb_s is not None
+
+
+def test_fetch_page_browser_end_to_end(world):
+    result = world.fetch_page_browser("obfs4", world.tranco[0])
+    assert result.status is Status.COMPLETE
+    assert result.resources_fetched > 0
+    assert result.visual_events
+
+
+def test_download_file_includes_bootstrap(world):
+    result = world.download_file("obfs4", world.files[0])
+    # 5 MB download: bootstrap (>=3s) + transfer; must exceed a warm
+    # fetch's couple of seconds.
+    assert result.duration_s > 5.0
+    assert result.status is Status.COMPLETE
+
+
+def test_download_file_without_bootstrap_faster(world):
+    cold = world.download_file("obfs4", world.files[0], bootstrap=True)
+    warm = world.download_file("obfs4", world.files[0], bootstrap=False)
+    assert warm.duration_s < cold.duration_s
+
+
+def test_wireless_world_config():
+    world = World(WorldConfig(seed=3, medium=Medium.WIRELESS,
+                              tranco_size=4, cbl_size=4))
+    result = world.fetch_page_curl("tor", world.tranco[0])
+    assert result.status is Status.COMPLETE
+
+
+def test_private_server_world_uses_private_bridges():
+    world = World(WorldConfig(seed=3, use_private_servers=True,
+                              tranco_size=4, cbl_size=4))
+    assert world.transport("obfs4").bridge.spec.managed is False
+    # conjure cannot be self-hosted: stays managed.
+    assert world.transport("conjure").bridge.spec.managed is True
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        WorldConfig(transports=())
+    with pytest.raises(ConfigError):
+        WorldConfig(tranco_size=0)
+
+
+def test_scale_presets():
+    assert Scale.tiny().n_sites < Scale.small().n_sites < Scale.paper().n_sites
+    assert Scale.paper().n_sites == 1000

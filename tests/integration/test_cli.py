@@ -1,0 +1,45 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2a" in out
+    assert "Table 2" in out
+    assert out.count("\n") == 23
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "table2", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "28-PT survey" in out or "Comparison of 28" in out
+    assert "paper vs measured" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_run_respects_seed_and_scale(capsys):
+    assert main(["run", "fig10a", "--seed", "3", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "2022-09" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "tor", "obfs4", "--sites", "4",
+                 "--repetitions", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "tor" in out and "obfs4" in out
+    assert "s" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

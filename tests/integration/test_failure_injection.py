@@ -1,0 +1,77 @@
+"""Failure injection: byte accounting must survive arbitrary failures.
+
+Property-based: whatever combination of session lifetime, byte budget,
+connect failures and timeouts a channel suffers, the recorded bytes
+must stay consistent (0 <= received <= expected, statuses coherent).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import WorldConfig
+from repro.core.world import World
+from repro.errors import ChannelFailed
+from repro.simnet.session import run_process
+from repro.web.fetch import file_fetch
+from repro.web.page import FileSpec
+from repro.web.types import Status
+
+_WORLD = World(WorldConfig(seed=55, tranco_size=4, cbl_size=4))
+
+
+@given(
+    lifetime=st.one_of(st.none(), st.floats(min_value=0.5, max_value=60.0)),
+    budget=st.one_of(st.none(), st.floats(min_value=100_000.0,
+                                          max_value=20_000_000.0)),
+    connect_fail=st.floats(min_value=0.0, max_value=1.0),
+    size_mb=st.floats(min_value=0.5, max_value=30.0),
+    draw_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_failure_profiles_keep_accounting_sane(
+        lifetime, budget, connect_fail, size_mb, draw_seed):
+    transport = _WORLD.transport("obfs4").with_params(
+        session_lifetime_median_s=lifetime,
+        byte_budget_median=budget,
+        connect_failure_prob=connect_fail)
+    rng = _WORLD.rng("inject", draw_seed)
+    channel = transport.create_channel(_WORLD.client, _WORLD.file_server, rng)
+    spec = FileSpec("f", size_mb * 1_000_000.0)
+    _WORLD.client.drop_circuit()
+    result = run_process(_WORLD.kernel, _WORLD.net,
+                         file_fetch(channel, spec), timeout=1200.0)
+
+    assert 0.0 <= result.bytes_received <= spec.size_bytes * (1 + 1e-9)
+    assert 0.0 <= result.fraction_downloaded <= 1.0
+    if result.status is Status.COMPLETE:
+        assert result.bytes_received >= spec.size_bytes * (1 - 1e-9)
+        assert result.failure_reason is None
+    elif result.status is Status.FAILED:
+        assert result.bytes_received == 0.0
+        assert result.failure_reason is not None
+    else:
+        assert 0.0 < result.bytes_received < spec.size_bytes
+    # The network must be clean afterwards: no leaked flows.
+    assert not _WORLD.net.active_flows
+
+
+@given(fail_after=st.floats(min_value=0.1, max_value=5.0),
+       draw_seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_browser_fetch_partial_accounting(fail_after, draw_seed):
+    """Browser loads with mid-flight channel death stay consistent."""
+    from repro.web.fetch import BrowserConfig, browser_fetch
+    transport = _WORLD.transport("obfs4").with_params(
+        session_lifetime_median_s=fail_after, session_lifetime_sigma=0.1)
+    rng = _WORLD.rng("inject-browser", draw_seed)
+    page = _WORLD.tranco[draw_seed % len(_WORLD.tranco)]
+    server = _WORLD.origin_server(page.origin_city)
+    channel = transport.create_channel(_WORLD.client, server, rng)
+    _WORLD.client.drop_circuit()
+    result = run_process(_WORLD.kernel, _WORLD.net,
+                         browser_fetch(channel, page,
+                                       BrowserConfig(adblock=False)),
+                         timeout=120.0)
+    assert 0.0 <= result.bytes_received <= result.bytes_expected * (1 + 1e-9)
+    assert result.resources_fetched <= result.resources_total
+    assert not _WORLD.net.active_flows

@@ -1,0 +1,33 @@
+"""Integration test for the EXPERIMENTS.md report generator."""
+
+from pathlib import Path
+
+from repro.core.config import Scale
+from repro.core.experiments import EXPERIMENTS
+from repro.analysis.report import generate_experiments_md, render_markdown
+
+
+def test_render_markdown_covers_every_experiment():
+    text = render_markdown(seed=3, scale=Scale.tiny())
+    for eid, definition in EXPERIMENTS.items():
+        assert f"`{eid}`" in text, eid
+        assert definition.paper_ref in text, eid
+    assert "paper" in text.lower()
+
+
+def test_generate_writes_file(tmp_path: Path):
+    target = tmp_path / "EXPERIMENTS.md"
+    written = generate_experiments_md(target, seed=3, scale=Scale.tiny())
+    assert written == target
+    content = target.read_text()
+    assert content.startswith("# EXPERIMENTS")
+    assert "Figure 2a" in content
+
+
+def test_repo_experiments_md_exists_and_is_complete():
+    """The committed EXPERIMENTS.md covers every artefact."""
+    path = Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
+    assert path.exists(), "EXPERIMENTS.md must ship with the repo"
+    content = path.read_text()
+    for eid in EXPERIMENTS:
+        assert f"`{eid}`" in content, eid

@@ -1,0 +1,95 @@
+"""Integration-leaning tests for the campaign runner."""
+
+import pytest
+
+from repro.core.config import WorldConfig
+from repro.core.world import World
+from repro.measure.campaign import CampaignRunner
+from repro.measure.ethics import OVERLOAD_PACING, PacingPolicy
+from repro.measure.records import Method, TargetKind
+from repro.web.types import Status
+
+
+@pytest.fixture()
+def world():
+    return World(WorldConfig(seed=11, tranco_size=6, cbl_size=6))
+
+
+def test_website_campaign_produces_expected_count(world):
+    runner = CampaignRunner(world)
+    results = runner.run_website_campaign(
+        ["tor", "obfs4"], world.tranco[:3], repetitions=2)
+    assert len(results) == 2 * 3 * 2
+    assert set(results.pts()) == {"tor", "obfs4"}
+    assert all(r.kind is TargetKind.WEBSITE for r in results)
+    assert all(r.method is Method.CURL for r in results)
+
+
+def test_selenium_campaign_skips_camoufler(world):
+    runner = CampaignRunner(world)
+    results = runner.run_website_campaign(
+        ["tor", "camoufler"], world.tranco[:2],
+        method=Method.SELENIUM, repetitions=1)
+    assert set(results.pts()) == {"tor"}
+
+
+def test_curl_campaign_includes_camoufler(world):
+    runner = CampaignRunner(world)
+    results = runner.run_website_campaign(
+        ["camoufler"], world.tranco[:2], method=Method.CURL, repetitions=1)
+    assert set(results.pts()) == {"camoufler"}
+
+
+def test_browsertime_records_speed_index(world):
+    runner = CampaignRunner(world)
+    results = runner.run_website_campaign(
+        ["tor"], world.tranco[:2], method=Method.BROWSERTIME, repetitions=1)
+    for r in results:
+        assert r.speed_index_s is not None
+        assert 0 < r.speed_index_s <= r.duration_s + 1e-9
+
+
+def test_selenium_slower_than_curl_same_sites(world):
+    runner = CampaignRunner(world)
+    curl = runner.run_website_campaign(["tor"], world.tranco[:3],
+                                       method=Method.CURL, repetitions=1)
+    selenium = runner.run_website_campaign(["tor"], world.tranco[:3],
+                                           method=Method.SELENIUM, repetitions=1)
+    assert selenium.mean_duration() > curl.mean_duration()
+
+
+def test_file_campaign_records_sizes_and_statuses(world):
+    runner = CampaignRunner(world)
+    files = world.files[:2]  # 5 MB and 10 MB
+    results = runner.run_file_campaign(["obfs4"], files, attempts=2)
+    assert len(results) == 4
+    assert all(r.kind is TargetKind.FILE for r in results)
+    assert {r.target for r in results} == {"file-5mb", "file-10mb"}
+    assert all(r.status in (Status.COMPLETE, Status.PARTIAL, Status.FAILED)
+               for r in results)
+
+
+def test_pacing_advances_simulated_time(world):
+    runner = CampaignRunner(world, pacing=PacingPolicy(
+        gap_between_accesses_s=100.0, batch_size=0))
+    t0 = world.kernel.now
+    runner.run_website_campaign(["tor"], world.tranco[:2], repetitions=1)
+    assert world.kernel.now - t0 >= 200.0
+
+
+def test_overload_pacing_daily_cap():
+    policy = OVERLOAD_PACING
+    # Crossing the daily cap inserts a day-long pause.
+    assert policy.gap_after(policy.daily_cap - 1) > 86_000
+    assert policy.gap_after(0) < 86_000
+
+
+def test_records_carry_world_metadata(world):
+    runner = CampaignRunner(world)
+    results = runner.run_website_campaign(["tor"], world.tranco[:1],
+                                          repetitions=1)
+    record = results.records[0]
+    assert record.client_city == "London"
+    assert record.server_city == "Frankfurt"
+    assert record.medium == "wired"
+    assert record.category == "baseline"

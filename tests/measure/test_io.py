@@ -1,0 +1,87 @@
+"""Round-trip tests for result-set persistence."""
+
+import pytest
+
+from repro.measure.io import merge, read_csv, read_json, write_csv, write_json
+from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+from repro.web.types import Status
+
+
+def sample_results() -> ResultSet:
+    records = [
+        MeasurementRecord(
+            pt="tor", category="baseline", target="site0",
+            kind=TargetKind.WEBSITE, method=Method.CURL,
+            client_city="London", server_city="Frankfurt", medium="wired",
+            duration_s=2.5, status=Status.COMPLETE,
+            bytes_expected=1000.0, bytes_received=1000.0, ttfb_s=0.8,
+            repetition=1),
+        MeasurementRecord(
+            pt="meek", category="proxy layer", target="file-5mb",
+            kind=TargetKind.FILE, method=Method.CURL,
+            client_city="London", server_city="Frankfurt", medium="wired",
+            duration_s=110.0, status=Status.PARTIAL,
+            bytes_expected=5e6, bytes_received=2.5e6, ttfb_s=None),
+        MeasurementRecord(
+            pt="obfs4", category="fully encrypted", target="site1",
+            kind=TargetKind.WEBSITE, method=Method.BROWSERTIME,
+            client_city="Bangalore", server_city="Singapore",
+            medium="wireless", duration_s=14.0, status=Status.COMPLETE,
+            bytes_expected=2e6, bytes_received=2e6, ttfb_s=1.5,
+            speed_index_s=6.5),
+    ]
+    return ResultSet(records)
+
+
+def _assert_equal(a: ResultSet, b: ResultSet):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.pt == rb.pt
+        assert ra.target == rb.target
+        assert ra.kind is rb.kind
+        assert ra.method is rb.method
+        assert ra.status is rb.status
+        assert ra.duration_s == pytest.approx(rb.duration_s)
+        assert (ra.ttfb_s is None) == (rb.ttfb_s is None)
+        if ra.ttfb_s is not None:
+            assert ra.ttfb_s == pytest.approx(rb.ttfb_s)
+        assert (ra.speed_index_s is None) == (rb.speed_index_s is None)
+        assert ra.repetition == rb.repetition
+
+
+def test_csv_roundtrip(tmp_path):
+    original = sample_results()
+    path = write_csv(original, tmp_path / "results.csv")
+    _assert_equal(original, read_csv(path))
+
+
+def test_json_roundtrip(tmp_path):
+    original = sample_results()
+    path = write_json(original, tmp_path / "results.json", indent=2)
+    _assert_equal(original, read_json(path))
+
+
+def test_csv_header_stable(tmp_path):
+    path = write_csv(sample_results(), tmp_path / "r.csv")
+    header = path.read_text().splitlines()[0]
+    assert header.startswith("pt,category,target,kind,method")
+
+
+def test_merge_concatenates():
+    merged = merge([sample_results(), sample_results()])
+    assert len(merged) == 6
+    assert merged.pts() == ["tor", "meek", "obfs4"]
+
+
+def test_roundtrip_of_real_campaign(tmp_path):
+    from repro.core import World, WorldConfig
+    from repro.measure.campaign import CampaignRunner
+    world = World(WorldConfig(seed=61, tranco_size=3, cbl_size=3))
+    runner = CampaignRunner(world)
+    results = runner.run_website_campaign(["tor", "dnstt"],
+                                          world.tranco[:3], repetitions=1)
+    reloaded = read_csv(write_csv(results, tmp_path / "campaign.csv"))
+    _assert_equal(results, reloaded)
+    # Loaded data supports the same analysis operations.
+    assert reloaded.per_target_means("tor")
+    assert reloaded.filter(pt="dnstt")

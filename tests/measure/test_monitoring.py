@@ -1,0 +1,81 @@
+"""Tests for the long-term monitoring extension (paper A.4)."""
+
+import pytest
+
+from repro.core import World, WorldConfig
+from repro.measure.monitoring import (
+    Anomaly,
+    LongTermMonitor,
+    iran_protest_schedule,
+)
+
+
+@pytest.fixture()
+def world():
+    return World(WorldConfig(seed=37, transports=("tor", "obfs4", "snowflake"),
+                             tranco_size=16, cbl_size=2))
+
+
+def test_probe_week_produces_samples(world):
+    monitor = LongTermMonitor(world, pts=("tor", "obfs4"), n_sites=5)
+    samples = monitor.probe_week(0)
+    assert {s.pt for s in samples} == {"tor", "obfs4"}
+    for sample in samples:
+        assert sample.mean_s > 0
+        assert sample.p90_s >= sample.mean_s * 0.5
+        assert 0.0 <= sample.failure_fraction <= 1.0
+        assert sample.n == 5
+
+
+def test_run_advances_simulated_weeks(world):
+    monitor = LongTermMonitor(world, pts=("tor",), n_sites=3)
+    t0 = world.kernel.now
+    monitor.run(weeks=3)
+    assert world.kernel.now - t0 >= 3 * 7 * 86_400.0
+    assert len(monitor.history("tor")) == 3
+
+
+def test_no_anomalies_under_steady_load(world):
+    monitor = LongTermMonitor(world, pts=("obfs4",), n_sites=6)
+    monitor.run(weeks=6)
+    assert monitor.detect_anomalies(z_threshold=3.5) == []
+
+
+def test_monitor_flags_snowflake_surge(world):
+    """The monitor must catch the September-2022 event automatically."""
+    onset = 4
+    monitor = LongTermMonitor(world, pts=("snowflake", "obfs4"), n_sites=8,
+                              load_schedule=iran_protest_schedule(onset))
+    monitor.run(weeks=8)
+    anomalies = monitor.detect_anomalies()
+    snowflake_weeks = {a.week for a in anomalies if a.pt == "snowflake"}
+    assert snowflake_weeks, "surge must be flagged"
+    assert min(snowflake_weeks) >= onset
+    # The unaffected control transport stays clean.
+    assert not [a for a in anomalies if a.pt == "obfs4"]
+
+
+def test_degraded_weeks_do_not_join_baseline(world):
+    """After the surge begins, every subsequent week keeps being flagged:
+    degraded weeks are excluded from the rolling baseline, so the
+    baseline never drifts up to 'normalise' the overload."""
+    onset = 3
+    monitor = LongTermMonitor(world, pts=("snowflake",), n_sites=15,
+                              repetitions=2,
+                              load_schedule=iran_protest_schedule(onset))
+    monitor.run(weeks=8)
+    # A sensitive threshold: the surge's +25% shift must be caught every
+    # week because flagged weeks never inflate the baseline.
+    flagged = sorted(a.week for a in monitor.detect_anomalies(z_threshold=1.5))
+    assert flagged, "the surge must be detected"
+    first = flagged[0]
+    assert first >= onset
+    # Once detected, every later week stays flagged.
+    assert flagged == list(range(first, 8))
+
+
+def test_anomaly_describe():
+    anomaly = Anomaly(week=5, pt="snowflake", mean_s=6.0,
+                      baseline_mean_s=3.0, z_score=4.2)
+    text = anomaly.describe()
+    assert "snowflake" in text and "week 5" in text and "z=4.2" in text

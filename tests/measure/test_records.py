@@ -1,0 +1,119 @@
+"""Unit tests for measurement records and result sets."""
+
+import pytest
+
+from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+from repro.web.types import Status
+
+
+def rec(pt="tor", target="site0", duration=1.0, status=Status.COMPLETE,
+        method=Method.CURL, ttfb=0.5, expected=100.0, received=100.0,
+        category="baseline", speed_index=None):
+    return MeasurementRecord(
+        pt=pt, category=category, target=target, kind=TargetKind.WEBSITE,
+        method=method, client_city="London", server_city="Frankfurt",
+        medium="wired", duration_s=duration, status=status,
+        bytes_expected=expected, bytes_received=received, ttfb_s=ttfb,
+        speed_index_s=speed_index)
+
+
+def test_filtering_by_multiple_criteria():
+    rs = ResultSet([
+        rec(pt="tor", duration=1.0),
+        rec(pt="obfs4", duration=2.0),
+        rec(pt="obfs4", duration=3.0, method=Method.SELENIUM),
+    ])
+    assert len(rs.filter(pt="obfs4")) == 2
+    assert len(rs.filter(pt="obfs4", method=Method.CURL)) == 1
+    assert len(rs.filter(predicate=lambda r: r.duration_s > 1.5)) == 2
+
+
+def test_pts_and_targets_preserve_order():
+    rs = ResultSet([rec(pt="b", target="t2"), rec(pt="a", target="t1"),
+                    rec(pt="b", target="t1")])
+    assert rs.pts() == ["b", "a"]
+    assert rs.targets() == ["t2", "t1"]
+
+
+def test_mean_and_median():
+    rs = ResultSet([rec(duration=1.0), rec(duration=2.0), rec(duration=9.0)])
+    assert rs.mean_duration() == pytest.approx(4.0)
+    assert rs.median_duration() == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        ResultSet().mean_duration()
+
+
+def test_status_fractions_sum_to_one():
+    rs = ResultSet([
+        rec(status=Status.COMPLETE), rec(status=Status.COMPLETE),
+        rec(status=Status.PARTIAL, received=40.0),
+        rec(status=Status.FAILED, received=0.0),
+    ])
+    fractions = rs.status_fractions()
+    assert fractions[Status.COMPLETE] == pytest.approx(0.5)
+    assert fractions[Status.PARTIAL] == pytest.approx(0.25)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_fraction_downloaded():
+    r = rec(status=Status.PARTIAL, expected=200.0, received=50.0)
+    assert r.fraction_downloaded == pytest.approx(0.25)
+    assert rec().fraction_downloaded == 1.0
+
+
+def test_per_target_means_average_repetitions():
+    rs = ResultSet([
+        rec(pt="tor", target="a", duration=1.0),
+        rec(pt="tor", target="a", duration=3.0),
+        rec(pt="tor", target="b", duration=5.0),
+    ])
+    means = rs.per_target_means("tor")
+    assert means == {"a": pytest.approx(2.0), "b": pytest.approx(5.0)}
+
+
+def test_paired_values_align_common_targets():
+    rs = ResultSet([
+        rec(pt="tor", target="a", duration=1.0),
+        rec(pt="tor", target="b", duration=2.0),
+        rec(pt="obfs4", target="b", duration=4.0),
+        rec(pt="obfs4", target="c", duration=9.0),
+    ])
+    xs, ys = rs.paired_values("tor", "obfs4")
+    assert xs == [2.0]
+    assert ys == [4.0]
+
+
+def test_paired_values_respect_method_filter():
+    rs = ResultSet([
+        rec(pt="tor", target="a", duration=1.0, method=Method.CURL),
+        rec(pt="tor", target="a", duration=10.0, method=Method.SELENIUM),
+        rec(pt="obfs4", target="a", duration=2.0, method=Method.CURL),
+        rec(pt="obfs4", target="a", duration=8.0, method=Method.SELENIUM),
+    ])
+    xs, ys = rs.paired_values("tor", "obfs4", method=Method.SELENIUM)
+    assert xs == [10.0]
+    assert ys == [8.0]
+
+
+def test_ttfbs_skip_missing():
+    rs = ResultSet([rec(ttfb=0.5), rec(ttfb=None)])
+    assert rs.ttfbs() == [0.5]
+
+
+def test_to_rows_shape():
+    rows = ResultSet([rec()]).to_rows()
+    assert rows[0]["pt"] == "tor"
+    assert rows[0]["status"] == "complete"
+    assert set(rows[0]) >= {"duration_s", "ttfb_s", "method", "client"}
+
+
+def test_relabel_overrides_fields():
+    rs = ResultSet([rec()]).relabel(medium="wireless")
+    assert rs.records[0].medium == "wireless"
+
+
+def test_extend_accepts_resultset_and_iterable():
+    rs = ResultSet([rec()])
+    rs.extend(ResultSet([rec(pt="a")]))
+    rs.extend([rec(pt="b")])
+    assert len(rs) == 3

@@ -1,0 +1,68 @@
+"""Unit tests for the surge timeline and the location matrix."""
+
+import pytest
+
+from repro.core.config import WorldConfig
+from repro.measure.locations import location_matrix, mean_by_client, ordering_by_cell
+from repro.measure.surge import (
+    POST_SEPTEMBER_MONTHS,
+    PRE_SEPTEMBER_MONTHS,
+    SNOWFLAKE_USER_TIMELINE,
+    post_september_level,
+    pre_september_level,
+    surge_level_for,
+)
+from repro.simnet.geo import Cities
+
+
+def test_timeline_shape_matches_figure_10a():
+    users = {p.month: p.users for p in SNOWFLAKE_USER_TIMELINE}
+    # Calm first eight months, abrupt September jump...
+    assert users["2022-08"] < 15_000
+    assert users["2022-09"] > 3 * users["2022-08"]
+    # ...October dip from the TLS-fingerprint blocking...
+    assert users["2022-10"] < users["2022-09"]
+    # ...recovery and growth afterwards.
+    assert users["2022-11"] > users["2022-10"]
+    assert users["2023-03"] > users["2022-11"]
+
+
+def test_pre_and_post_levels():
+    assert pre_september_level() < 0.2
+    assert post_september_level() > 0.7
+    assert "2022-10" not in POST_SEPTEMBER_MONTHS  # unstable month excluded
+    assert all(m < "2022-09" for m in PRE_SEPTEMBER_MONTHS)
+
+
+def test_surge_level_lookup():
+    assert surge_level_for("2022-01") == pytest.approx(0.05)
+    with pytest.raises(KeyError):
+        surge_level_for("2021-01")
+
+
+def test_location_matrix_runs_all_nine_cells():
+    config = WorldConfig(seed=3, tranco_size=4, cbl_size=4)
+    cells = location_matrix(config, ["tor", "obfs4"], n_sites=2, repetitions=1)
+    assert len(cells) == 9
+    pairs = {(c.client.name, c.server.name) for c in cells}
+    assert ("Bangalore", "Singapore") in pairs
+    assert ("Toronto", "New York") in pairs
+    for cell in cells:
+        assert len(cell.results) == 2 * 2  # 2 PTs x 2 sites x 1 rep
+
+
+def test_mean_by_client_covers_three_cities():
+    config = WorldConfig(seed=5, tranco_size=4, cbl_size=4)
+    cells = location_matrix(config, ["tor"], n_sites=2, repetitions=1)
+    means = mean_by_client(cells, "tor")
+    assert set(means) == {"Bangalore", "London", "Toronto"}
+    assert all(v > 0 for v in means.values())
+
+
+def test_ordering_by_cell_has_all_pts():
+    config = WorldConfig(seed=7, tranco_size=4, cbl_size=4)
+    cells = location_matrix(config, ["tor", "obfs4"], n_sites=2, repetitions=1,
+                            clients=[Cities.LONDON], servers=[Cities.FRANKFURT])
+    orderings = ordering_by_cell(cells)
+    assert orderings[("London", "Frankfurt")]
+    assert set(orderings[("London", "Frankfurt")]) == {"tor", "obfs4"}

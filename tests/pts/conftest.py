@@ -1,0 +1,18 @@
+"""Shared fixtures for PT tests: a tiny world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WorldConfig
+from repro.core.world import World
+
+
+@pytest.fixture()
+def world():
+    return World(WorldConfig(seed=7, tranco_size=10, cbl_size=10))
+
+
+@pytest.fixture()
+def page(world):
+    return world.tranco[0]

@@ -1,0 +1,84 @@
+"""Unit tests for the probabilistic automaton (marionette's engine)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pts.automaton import (
+    AutomatonState,
+    ProbabilisticAutomaton,
+    marionette_http_automaton,
+)
+from repro.simnet.rng import substream
+
+
+def test_terminal_state_ends_traversal():
+    auto = ProbabilisticAutomaton(
+        states={"only": AutomatonState("only", 1.0, 0.0)},
+        start="only")
+    rng = substream(1, "a")
+    assert auto.traverse(rng) == pytest.approx(1.0)
+
+
+def test_linear_chain_sums_dwell_times():
+    auto = ProbabilisticAutomaton(
+        states={
+            "a": AutomatonState("a", 1.0, 0.0, (("b", 1.0),)),
+            "b": AutomatonState("b", 2.0, 0.0, (("c", 1.0),)),
+            "c": AutomatonState("c", 3.0, 0.0),
+        },
+        start="a")
+    rng = substream(1, "b")
+    assert auto.traverse(rng) == pytest.approx(6.0)
+
+
+def test_loops_bounded_by_max_steps():
+    auto = ProbabilisticAutomaton(
+        states={"loop": AutomatonState("loop", 1.0, 0.0, (("loop", 1.0),))},
+        start="loop", max_steps=10)
+    rng = substream(1, "c")
+    assert auto.traverse(rng) == pytest.approx(10.0)
+
+
+def test_unknown_start_rejected():
+    with pytest.raises(ConfigError):
+        ProbabilisticAutomaton(states={}, start="missing")
+
+
+def test_unknown_transition_target_rejected():
+    with pytest.raises(ConfigError):
+        ProbabilisticAutomaton(
+            states={"a": AutomatonState("a", 1.0, 0.0, (("ghost", 1.0),))},
+            start="a")
+
+
+def test_transition_probabilities_must_sum_to_one():
+    with pytest.raises(ConfigError):
+        ProbabilisticAutomaton(
+            states={
+                "a": AutomatonState("a", 1.0, 0.0, (("b", 0.5),)),
+                "b": AutomatonState("b", 1.0, 0.0),
+            },
+            start="a")
+
+
+def test_marionette_automaton_mean_in_paper_band():
+    """The traversal mean drives marionette's ~18s penalty over Tor."""
+    auto = marionette_http_automaton()
+    mean = auto.mean_traversal_estimate(substream(2, "marionette"), samples=800)
+    assert 10.0 < mean < 26.0
+
+
+def test_marionette_automaton_heavy_tail():
+    auto = marionette_http_automaton()
+    rng = substream(3, "tail")
+    samples = sorted(auto.traverse(rng) for _ in range(800))
+    median = samples[len(samples) // 2]
+    p90 = samples[int(len(samples) * 0.9)]
+    assert p90 > 2 * median  # geometric looping produces a heavy tail
+
+
+def test_traversal_deterministic_given_stream():
+    auto = marionette_http_automaton()
+    a = [auto.traverse(substream(5, "x", i)) for i in range(10)]
+    b = [auto.traverse(substream(5, "x", i)) for i in range(10)]
+    assert a == b

@@ -1,0 +1,52 @@
+"""Unit tests for the 28-PT survey catalog (Table 2)."""
+
+from repro.pts.catalog28 import (
+    CATALOG,
+    AdoptionGroup,
+    entries,
+    evaluated_names,
+    summary_counts,
+)
+from repro.pts.registry import EVALUATED_PTS
+
+
+def test_catalog_has_28_systems():
+    assert len(CATALOG) == 28
+
+
+def test_twelve_fully_evaluated():
+    assert len(evaluated_names()) == 12
+
+
+def test_evaluated_names_match_registry():
+    # Registry names and Table 2 names line up (both derive from the paper).
+    assert set(evaluated_names()) == set(EVALUATED_PTS)
+
+
+def test_bundled_group_is_tor_browser_trio():
+    names = {e.name for e in entries(AdoptionGroup.BUNDLED)}
+    assert names == {"obfs4", "meek", "snowflake"}
+
+
+def test_under_deployment_group():
+    names = {e.name for e in entries(AdoptionGroup.UNDER_DEPLOYMENT)}
+    assert names == {"dnstt", "conjure", "webtunnel", "torcloak"}
+
+
+def test_code_unavailable_systems_have_na_fields():
+    for entry in CATALOG:
+        if not entry.code_available:
+            assert entry.functional is None
+            assert entry.integratable is None
+            assert entry.evaluated is False
+
+
+def test_summary_counts_match_paper_conclusion():
+    counts = summary_counts()
+    assert counts["total"] == 28
+    assert counts["evaluated"] == 12
+    assert counts["partially_evaluated"] == 1  # massbrowser
+    # The conclusion says 13 of the remaining 16 are non-functional.
+    assert counts["non_functional"] == 13
+    # Six systems have no public source at all; torcloak is one of them.
+    assert counts["code_unavailable"] == 6

@@ -1,0 +1,157 @@
+"""Unit tests for TorBackedChannel behaviour across architectures."""
+
+import pytest
+
+from repro.errors import ChannelFailed
+from repro.pts.base import ArchSet
+from repro.simnet.session import run_process
+from repro.web.fetch import curl_fetch, file_fetch
+from repro.web.page import FileSpec
+from repro.web.types import Status
+
+
+def open_channel(world, name, server=None):
+    rng = world.begin_measurement()
+    server = server or world.origin_server(world.tranco[0].origin_city)
+    return world.open_channel(name, server, rng)
+
+
+def test_request_before_connect_rejected(world):
+    channel = open_channel(world, "obfs4")
+    with pytest.raises(ChannelFailed):
+        run_process(world.kernel, world.net,
+                    channel.request_process(100, 1000))
+
+
+def test_set1_channel_uses_bridge_as_guard(world, page):
+    channel = open_channel(world, "obfs4")
+    run_process(world.kernel, world.net, channel.connect_process())
+    assert channel.circuit is not None
+    assert channel.circuit.hops[0] is world.transport("obfs4").bridge
+    assert channel.pt_hop is None
+    assert len(channel.circuit.hops) == 3
+
+
+def test_set2_channel_keeps_consensus_guard(world):
+    channel = open_channel(world, "shadowsocks")
+    run_process(world.kernel, world.net, channel.connect_process())
+    bridge = world.transport("shadowsocks").bridge
+    assert channel.pt_hop is bridge
+    assert channel.circuit.hops[0] is not bridge
+    assert channel.circuit.hops[0].has_flag  # a consensus relay
+    # The origin chain includes the PT hop, so cells detour through it.
+    assert bridge.city in channel.circuit.origin
+
+
+def test_set3_channel_routes_via_pt_client_host(world):
+    channel = open_channel(world, "cloak")
+    run_process(world.kernel, world.net, channel.connect_process())
+    assert channel.pt_hop is world.transport("cloak").bridge
+    assert channel.circuit.origin[-1] == channel.pt_hop.city
+
+
+def test_vanilla_channel_has_no_pt_machinery(world):
+    channel = open_channel(world, "tor")
+    run_process(world.kernel, world.net, channel.connect_process())
+    assert channel.pt_hop is None
+    assert channel.circuit.hops[0] is world.client.guards.current()
+    assert channel.circuit.origin == (world.config.client_city,)
+
+
+def test_detour_transports_extend_origin_chain(world):
+    # Disable meek's stochastic connect failures: geometry is the point.
+    world.transports["meek"] = world.transport("meek").with_params(
+        connect_failure_prob=0.0)
+    for name in ("meek", "dnstt"):
+        channel = open_channel(world, name)
+        run_process(world.kernel, world.net, channel.connect_process())
+        assert len(channel.detour_list) == 1
+        assert channel.circuit.origin[1] == channel.detour_list[0].city
+
+
+def test_snowflake_channel_gets_ephemeral_proxy(world):
+    a = open_channel(world, "snowflake")
+    b = open_channel(world, "snowflake")
+    assert a.detour_list[0].resource is not b.detour_list[0].resource
+    # Proxy churn arms the session-lifetime failure clock.
+    run_process(world.kernel, world.net, a.connect_process())
+    assert a.fails_at is not None
+
+
+def test_throughput_cap_resource_in_path(world, page):
+    channel = open_channel(world, "dnstt")
+    run_process(world.kernel, world.net, channel.connect_process())
+    path = channel._transfer_path()
+    assert channel._cap_resource in path
+    cap = channel._cap_resource.capacity_bps
+    assert cap == world.transport("dnstt").params.throughput_cap_bps
+
+
+def test_uncapped_transport_has_no_cap_resource(world):
+    channel = open_channel(world, "obfs4")
+    run_process(world.kernel, world.net, channel.connect_process())
+    assert channel._cap_resource is None
+
+
+def test_transfer_path_has_no_duplicates(world):
+    for name in ("tor", "obfs4", "shadowsocks", "cloak", "meek"):
+        channel = open_channel(world, name)
+        run_process(world.kernel, world.net, channel.connect_process())
+        path = channel._transfer_path()
+        assert len(path) == len(set(path)), name
+
+
+def test_request_returns_ttfb_and_duration(world, page):
+    channel = open_channel(world, "obfs4")
+
+    def proc():
+        yield from channel.connect_process()
+        result = yield from channel.request_process(600, 50_000)
+        return result
+
+    result = run_process(world.kernel, world.net, proc())
+    assert result.ttfb_s > 0
+    assert result.duration_s > result.ttfb_s
+    assert result.nbytes == 50_000
+
+
+def test_camoufler_connect_failures_happen(world):
+    failures = 0
+    for i in range(60):
+        channel = open_channel(world, "camoufler")
+        try:
+            run_process(world.kernel, world.net, channel.connect_process())
+        except ChannelFailed:
+            failures += 1
+    # connect_failure_prob ~ 9%: expect some but not most to fail.
+    assert 1 <= failures <= 20
+
+
+def test_meek_byte_budget_truncates_bulk(world):
+    # meek's rate-limited bridge cannot sustain a 20 MB download.
+    world.transports["meek"] = world.transport("meek").with_params(
+        connect_failure_prob=0.0)
+    channel = open_channel(world, "meek", server=world.file_server)
+    spec = FileSpec("f", 20_000_000.0)
+    result = run_process(world.kernel, world.net,
+                         file_fetch(channel, spec), timeout=100_000.0)
+    assert result.status is Status.PARTIAL
+    assert 0 < result.bytes_received < spec.size_bytes
+
+
+def test_curl_fetch_through_every_transport(world, page):
+    for name in world.transports:
+        result = world.fetch_page_curl(name, page)
+        assert result.duration_s > 0, name
+        assert result.status in (Status.COMPLETE, Status.PARTIAL, Status.FAILED)
+
+
+def test_entry_override_replaces_first_hop(world):
+    from repro.tor.relay import Bridge
+    from repro.units import mbit
+    own = Bridge("own-obfs4", world.config.server_city, mbit(100), managed=False)
+    rng = world.begin_measurement()
+    server = world.origin_server(world.tranco[0].origin_city)
+    channel = world.open_channel("obfs4", server, rng, entry_override=own)
+    run_process(world.kernel, world.net, channel.connect_process())
+    assert channel.circuit.hops[0] is own

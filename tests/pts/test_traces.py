@@ -1,0 +1,92 @@
+"""Tests for the packet-trace/detectability companion module."""
+
+import pytest
+
+from repro.errors import UnknownTransportError
+from repro.pts.registry import ALL_TRANSPORTS
+from repro.pts.traces import (
+    WIRE_PROFILES,
+    extract_features,
+    feature_table,
+    generate_trace,
+    wire_profile,
+)
+from repro.simnet.rng import substream
+
+
+def test_every_transport_has_a_wire_profile():
+    assert set(WIRE_PROFILES) == set(ALL_TRANSPORTS)
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(UnknownTransportError):
+        wire_profile("quic-masq")
+
+
+def test_trace_carries_the_payload():
+    rng = substream(1, "trace")
+    packets = generate_trace("obfs4", 100_000.0, rng)
+    downstream_bytes = sum(p.size for p in packets if p.downstream)
+    assert downstream_bytes >= 100_000.0  # padding/framing only adds
+    assert downstream_bytes < 160_000.0
+
+
+def test_no_packet_exceeds_mtu():
+    rng = substream(2, "trace")
+    for pt in ("tor", "meek", "dnstt", "stegotorus"):
+        for packet in generate_trace(pt, 50_000.0, rng):
+            assert packet.size <= 1448.0, pt
+
+
+def test_dnstt_quantised_to_dns_sizes():
+    rng = substream(3, "trace")
+    packets = [p for p in generate_trace("dnstt", 50_000.0, rng)
+               if p.downstream and p.size > 60]
+    assert all(p.size == 512.0 for p in packets)
+
+
+def test_tor_cells_fixed_size():
+    rng = substream(4, "trace")
+    sizes = {p.size for p in generate_trace("tor", 20_000.0, rng)
+             if p.downstream and p.size > 60}
+    assert sizes == {514.0}
+
+
+def test_meek_polling_visible_upstream():
+    rng = substream(5, "trace")
+    meek = extract_features(generate_trace("meek", 200_000.0, rng))
+    obfs4 = extract_features(generate_trace("obfs4", 200_000.0, rng))
+    # meek's HTTP polling produces far more upstream traffic.
+    assert meek.downstream_fraction < obfs4.downstream_fraction
+
+
+def test_fixed_size_transports_have_low_entropy():
+    rng = substream(6, "trace")
+    table = feature_table(100_000.0, rng)
+    # dnstt/tor quantisation -> low size entropy; obfs4's random
+    # padding -> high entropy. This is exactly what the detection
+    # literature exploits.
+    assert table["dnstt"].size_entropy_bits < table["obfs4"].size_entropy_bits
+    assert table["tor"].size_entropy_bits < table["obfs4"].size_entropy_bits
+
+
+def test_features_vector_shape():
+    rng = substream(7, "trace")
+    features = extract_features(generate_trace("cloak", 10_000.0, rng))
+    vector = features.as_vector()
+    assert len(vector) == 7
+    assert all(isinstance(v, float) for v in vector)
+    assert features.n_packets > 0
+    assert 0.0 <= features.downstream_fraction <= 1.0
+
+
+def test_extract_features_rejects_empty():
+    with pytest.raises(ValueError):
+        extract_features([])
+
+
+def test_traces_deterministic_per_stream():
+    a = generate_trace("snowflake", 30_000.0, substream(8, "t"))
+    b = generate_trace("snowflake", 30_000.0, substream(8, "t"))
+    assert [(p.size, p.downstream) for p in a] == \
+        [(p.size, p.downstream) for p in b]

@@ -1,0 +1,224 @@
+"""Per-transport mechanism tests.
+
+Each of the twelve PTs encodes a specific communication-primitive
+constraint (Section 2 of the paper). These tests pin each mechanism
+down individually, so a regression in one transport's model cannot hide
+behind campaign-level statistics.
+"""
+
+import pytest
+
+from repro.core import World, WorldConfig
+from repro.pts.registry import make_transport
+from repro.simnet.geo import Cities
+from repro.simnet.session import run_process
+from repro.units import KB, MB
+from repro.web.fetch import file_fetch
+from repro.web.page import FileSpec
+from repro.web.types import Status
+
+
+@pytest.fixture()
+def world():
+    return World(WorldConfig(seed=71, tranco_size=6, cbl_size=4))
+
+
+def connect(world, name, server=None, **param_overrides):
+    transport = world.transport(name)
+    if param_overrides:
+        transport = transport.with_params(**param_overrides)
+    rng = world.begin_measurement()
+    server = server or world.origin_server(world.tranco[0].origin_city)
+    channel = transport.create_channel(world.client, server, rng)
+    run_process(world.kernel, world.net, channel.connect_process())
+    return channel
+
+
+# -- meek: domain fronting + rate-limited bridge -----------------------
+
+
+def test_meek_cdn_pop_follows_client_region(world):
+    meek = make_transport("meek")
+    detours_eu = meek.detours(world.client, world.rng("m1"))
+    assert detours_eu[0].city.region == "EU"
+
+
+def test_meek_cdn_resource_shared_per_region():
+    meek = make_transport("meek")
+    assert meek._cdn_resource("EU") is meek._cdn_resource("EU")
+    assert meek._cdn_resource("EU") is not meek._cdn_resource("NA")
+
+
+def test_meek_throughput_cap_dominates_bulk(world):
+    channel = connect(world, "meek", server=world.file_server,
+                      connect_failure_prob=0.0, byte_budget_median=None)
+    spec = FileSpec("f", 1 * MB)
+    result = run_process(world.kernel, world.net, file_fetch(channel, spec),
+                         timeout=10_000.0)
+    assert result.status is Status.COMPLETE
+    # 1 MB at the 64 KB/s bridge cap (x framing) needs >=20s.
+    assert result.duration_s > 15.0
+
+
+# -- dnstt: DoH resolver detour + response-size ceiling -----------------
+
+
+def test_dnstt_resolver_pop_by_region(world):
+    dnstt = make_transport("dnstt")
+    detour = dnstt.detours(world.client, world.rng("d1"))[0]
+    assert detour.city == Cities.FRANKFURT  # London client -> EU PoP
+
+
+def test_dnstt_overhead_factor_reflects_dns_framing():
+    params = make_transport("dnstt").params
+    assert params.overhead_factor > 1.4  # base32-style coding is costly
+    assert params.throughput_cap_bps < 150 * KB
+
+
+# -- snowflake: broker, volunteer proxy churn, surge --------------------
+
+
+def test_snowflake_proxy_bandwidth_shrinks_under_surge(world):
+    snowflake = world.transport("snowflake")
+    rng = world.rng("s1")
+    snowflake.set_surge(0.0)
+    calm = [snowflake._proxy_bandwidth(rng) for _ in range(200)]
+    snowflake.set_surge(1.0)
+    surged = [snowflake._proxy_bandwidth(rng) for _ in range(200)]
+    assert sum(surged) < sum(calm) * 0.8
+
+
+def test_snowflake_lifetime_shrinks_under_surge(world):
+    snowflake = world.transport("snowflake")
+    snowflake.set_surge(0.0)
+    calm = snowflake._proxy_lifetime_median()
+    snowflake.set_surge(1.0)
+    assert snowflake._proxy_lifetime_median() < calm / 3
+
+
+def test_snowflake_bridge_load_scales_with_surge(world):
+    snowflake = world.transport("snowflake")
+    rng = world.rng("s2")
+    snowflake.set_surge(0.0)
+    snowflake.resample_bridge_load(rng)
+    calm = snowflake.bridge.resource.background_load
+    snowflake.set_surge(1.0)
+    snowflake.resample_bridge_load(rng)
+    assert snowflake.bridge.resource.background_load > calm + 20
+
+
+def test_snowflake_surge_clamped(world):
+    snowflake = world.transport("snowflake")
+    snowflake.set_surge(99.0)
+    assert snowflake.surge_level == 1.5
+    snowflake.set_surge(-1.0)
+    assert snowflake.surge_level == 0.0
+
+
+# -- camoufler: IM tunneling -------------------------------------------
+
+
+def test_camoufler_single_stream_no_browser():
+    params = make_transport("camoufler").params
+    assert params.max_parallel_streams == 1
+    assert params.supports_browser is False
+
+
+def test_camoufler_im_datacentre_detour(world):
+    camoufler = world.transport("camoufler")
+    d1 = camoufler.detours(world.client, world.rng("c1"))
+    d2 = camoufler.detours(world.client, world.rng("c2"))
+    # All messages cross the same IM provider infrastructure.
+    assert d1[0].resource is d2[0].resource
+
+
+# -- marionette: probabilistic automaton -------------------------------
+
+
+def test_marionette_warm_requests_cheaper(world):
+    marionette = world.transport("marionette")
+    sampler = marionette.request_extra_sampler()
+    rng = world.rng("m2")
+    first = sampler(rng)
+    warm = [sampler(rng) for _ in range(20)]
+    assert first > 1.0
+    assert max(warm) < first * 2  # warm replays are the short path
+    assert sum(warm) / len(warm) < first
+
+
+def test_marionette_sampler_state_is_per_channel(world):
+    marionette = world.transport("marionette")
+    a = marionette.request_extra_sampler()
+    b = marionette.request_extra_sampler()
+    rng = world.rng("m3")
+    cold_a = a(rng)
+    cold_b = b(rng)  # a fresh channel pays the cold traversal again
+    assert cold_b > 0.5
+
+
+# -- obfs4 / shadowsocks: fully encrypted, minimal overhead -------------
+
+
+@pytest.mark.parametrize("name", ["obfs4", "shadowsocks"])
+def test_fully_encrypted_overhead_is_minimal(name):
+    params = make_transport(name).params
+    assert params.overhead_factor < 1.1
+    assert params.throughput_cap_bps is None
+    assert params.hazard_per_s == 0.0
+    assert params.byte_budget_median is None
+
+
+# -- cloak: zero-RTT handshake ------------------------------------------
+
+
+def test_cloak_handshake_cheapest_of_mimicry():
+    cloak = make_transport("cloak").params
+    stegotorus = make_transport("stegotorus").params
+    marionette = make_transport("marionette").params
+    assert cloak.handshake_rtts <= stegotorus.handshake_rtts
+    assert cloak.handshake_rtts <= marionette.handshake_rtts
+    assert cloak.handshake_extra_median_s == 0.0
+
+
+# -- stegotorus: steganographic expansion -------------------------------
+
+
+def test_stegotorus_expansion_largest_nonbudgeted():
+    stego = make_transport("stegotorus").params
+    assert stego.overhead_factor > 1.3
+
+
+# -- conjure / psiphon: managed infrastructure ---------------------------
+
+
+def test_conjure_and_psiphon_stay_managed_in_private_mode():
+    world = World(WorldConfig(seed=72, use_private_servers=True,
+                              tranco_size=2, cbl_size=2))
+    assert world.transport("conjure").bridge.spec.managed
+    assert world.transport("psiphon").bridge.spec.managed
+    assert not world.transport("webtunnel").bridge.spec.managed
+
+
+# -- webtunnel: tunneling without a primitive ceiling --------------------
+
+
+def test_webtunnel_has_no_throughput_cap():
+    params = make_transport("webtunnel").params
+    assert params.throughput_cap_bps is None
+    # The paper contrasts webtunnel with camoufler/dnstt on exactly this.
+    assert make_transport("camoufler").params.throughput_cap_bps is not None
+    assert make_transport("dnstt").params.throughput_cap_bps is not None
+
+
+# -- cross-cutting: channel failure clocks -------------------------------
+
+
+def test_fails_at_only_armed_when_model_present(world):
+    assert connect(world, "obfs4").fails_at is None
+    assert connect(world, "snowflake").fails_at is not None
+
+
+def test_byte_budget_only_armed_for_budgeted_transports(world):
+    assert connect(world, "webtunnel")._byte_budget is None
+    assert connect(world, "meek",
+                   connect_failure_prob=0.0)._byte_budget is not None

@@ -1,0 +1,60 @@
+"""Unit tests for background load models."""
+
+import pytest
+
+from repro.simnet.background import (
+    MANAGED_BRIDGE_LOAD,
+    VOLUNTEER_GUARD_LOAD,
+    LoadModel,
+    PoissonBackground,
+)
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.resource import Resource
+from repro.simnet.rng import substream
+
+
+def test_load_model_mean_roughly_right():
+    model = LoadModel(mean=10.0)
+    rng = substream(1, "load")
+    samples = [model.sample(rng) for _ in range(3000)]
+    mean = sum(samples) / len(samples)
+    assert 9.0 < mean < 11.0
+    assert all(s >= 0 for s in samples)
+
+
+def test_zero_mean_load_is_zero():
+    rng = substream(1, "load")
+    assert LoadModel(mean=0.0).sample(rng) == 0.0
+
+
+def test_volunteer_guard_busier_than_managed_bridge():
+    assert VOLUNTEER_GUARD_LOAD.mean > MANAGED_BRIDGE_LOAD.mean * 5
+
+
+def test_poisson_background_generates_and_slows_foreground():
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    r = Resource("r", 1000.0)
+    # Offered load: 0.5 flows/s x 1000 B = 500 B/s on a 1000 B/s pipe.
+    bg = PoissonBackground(kernel, net, r, rng=substream(2, "bg"),
+                           lam=0.5, mean_size_bytes=1000.0)
+    bg.start()
+    done = []
+    net.start_flow([r], 10_000.0, on_complete=lambda f: done.append(kernel.now))
+    kernel.run(until=400.0)
+    bg.stop()
+    kernel.run(until=2000.0)
+    assert bg.generated > 100
+    assert done, "foreground flow should finish"
+    # With competing traffic the 10s idle transfer takes measurably longer.
+    assert done[0] > 10.5
+
+
+def test_poisson_background_validation():
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    r = Resource("r", 1000.0)
+    with pytest.raises(ValueError):
+        PoissonBackground(kernel, net, r, rng=substream(1, "x"),
+                          lam=0.0, mean_size_bytes=100.0)

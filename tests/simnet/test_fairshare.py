@@ -1,0 +1,94 @@
+"""Unit tests for weighted max-min fair allocation."""
+
+import pytest
+
+from repro.simnet.fairshare import compute_fair_rates, effective_bottleneck_bps
+from repro.simnet.flow import Flow
+from repro.simnet.resource import Resource
+
+
+def make_flow(path, size=1e6, weight=1.0):
+    return Flow(tuple(path), size, weight=weight)
+
+
+def test_single_flow_gets_full_capacity():
+    r = Resource("r", 1000.0)
+    f = make_flow([r])
+    rates = compute_fair_rates([f])
+    assert rates[f] == pytest.approx(1000.0)
+
+
+def test_two_flows_split_equally():
+    r = Resource("r", 1000.0)
+    f1, f2 = make_flow([r]), make_flow([r])
+    rates = compute_fair_rates([f1, f2])
+    assert rates[f1] == pytest.approx(500.0)
+    assert rates[f2] == pytest.approx(500.0)
+
+
+def test_weighted_split():
+    r = Resource("r", 900.0)
+    f1 = make_flow([r], weight=2.0)
+    f2 = make_flow([r], weight=1.0)
+    rates = compute_fair_rates([f1, f2])
+    assert rates[f1] == pytest.approx(600.0)
+    assert rates[f2] == pytest.approx(300.0)
+
+
+def test_background_load_consumes_share():
+    r = Resource("r", 1000.0, background_load=3.0)
+    f = make_flow([r])
+    rates = compute_fair_rates([f])
+    assert rates[f] == pytest.approx(250.0)
+
+
+def test_path_limited_by_min_resource():
+    wide = Resource("wide", 10_000.0)
+    narrow = Resource("narrow", 100.0)
+    f = make_flow([wide, narrow])
+    rates = compute_fair_rates([f])
+    assert rates[f] == pytest.approx(100.0)
+
+
+def test_classic_max_min_redistribution():
+    # Two resources: A cap 100 shared by f1,f2; B cap 1000 shared by f2,f3.
+    # f1,f2 bottleneck at 50 on A; f3 then gets 950 on B.
+    a = Resource("a", 100.0)
+    b = Resource("b", 1000.0)
+    f1 = make_flow([a])
+    f2 = make_flow([a, b])
+    f3 = make_flow([b])
+    rates = compute_fair_rates([f1, f2, f3])
+    assert rates[f1] == pytest.approx(50.0)
+    assert rates[f2] == pytest.approx(50.0)
+    assert rates[f3] == pytest.approx(950.0)
+
+
+def test_no_resource_oversubscribed():
+    a = Resource("a", 500.0)
+    b = Resource("b", 300.0)
+    flows = [make_flow([a]), make_flow([a, b]), make_flow([b]), make_flow([a, b])]
+    rates = compute_fair_rates(flows)
+    for res in (a, b):
+        used = sum(rate for f, rate in rates.items() if res in f.path)
+        assert used <= res.capacity_bps + 1e-6
+
+
+def test_inactive_flows_excluded():
+    r = Resource("r", 100.0)
+    f1, f2 = make_flow([r]), make_flow([r])
+    from repro.simnet.flow import FlowState
+    f2.state = FlowState.COMPLETED
+    rates = compute_fair_rates([f1, f2])
+    assert rates[f1] == pytest.approx(100.0)
+    assert f2 not in rates
+
+
+def test_empty_input():
+    assert compute_fair_rates([]) == {}
+
+
+def test_effective_bottleneck_helper():
+    a = Resource("a", 1000.0, background_load=1.0)  # lone flow sees 500
+    b = Resource("b", 800.0)  # lone flow sees 800
+    assert effective_bottleneck_bps([a, b]) == pytest.approx(500.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import EventKernel
+
+
+def test_events_fire_in_time_order():
+    kernel = EventKernel()
+    fired = []
+    kernel.schedule(2.0, fired.append, "late")
+    kernel.schedule(1.0, fired.append, "early")
+    kernel.schedule(3.0, fired.append, "latest")
+    kernel.run()
+    assert fired == ["early", "late", "latest"]
+    assert kernel.now == 3.0
+
+
+def test_same_time_events_fire_fifo():
+    kernel = EventKernel()
+    fired = []
+    for label in ("a", "b", "c"):
+        kernel.schedule(1.0, fired.append, label)
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = EventKernel()
+    fired = []
+    event = kernel.schedule(1.0, fired.append, "x")
+    kernel.schedule(2.0, fired.append, "y")
+    event.cancel()
+    kernel.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_at_horizon():
+    kernel = EventKernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "in")
+    kernel.schedule(5.0, fired.append, "out")
+    kernel.run(until=2.0)
+    assert fired == ["in"]
+    assert kernel.now == 2.0
+    kernel.run()
+    assert fired == ["in", "out"]
+
+
+def test_negative_delay_rejected():
+    kernel = EventKernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    kernel = EventKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    kernel = EventKernel()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            kernel.schedule(1.0, chain, n + 1)
+
+    kernel.schedule(0.0, chain, 0)
+    kernel.run()
+    assert fired == [0, 1, 2, 3]
+    assert kernel.now == 3.0
+
+
+def test_step_returns_false_when_empty():
+    kernel = EventKernel()
+    assert kernel.step() is False
+
+
+def test_pending_and_events_fired_counters():
+    kernel = EventKernel()
+    kernel.schedule(1.0, lambda: None)
+    e = kernel.schedule(2.0, lambda: None)
+    e.cancel()
+    assert kernel.pending == 1
+    kernel.run()
+    assert kernel.events_fired == 1
+
+
+def test_max_events_bound():
+    kernel = EventKernel()
+    fired = []
+    for i in range(10):
+        kernel.schedule(float(i + 1), fired.append, i)
+    kernel.run(max_events=4)
+    assert fired == [0, 1, 2, 3]

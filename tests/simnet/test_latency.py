@@ -1,0 +1,58 @@
+"""Unit tests for the latency model and medium effects."""
+
+import statistics
+
+from repro.simnet.geo import Cities, Medium
+from repro.simnet.latency import (
+    WIRED_JITTER_SIGMA,
+    WIRELESS_JITTER_SIGMA,
+    LatencyModel,
+)
+from repro.simnet.rng import substream
+
+
+def test_for_medium_selects_sigma():
+    wired = LatencyModel.for_medium(Medium.WIRED)
+    wifi = LatencyModel.for_medium(Medium.WIRELESS)
+    assert wired.jitter_sigma == WIRED_JITTER_SIGMA
+    assert wifi.jitter_sigma == WIRELESS_JITTER_SIGMA
+    assert wifi.jitter_sigma > wired.jitter_sigma
+
+
+def test_rtt_positive_and_centered_on_base():
+    from repro.simnet.geo import base_rtt
+    model = LatencyModel.for_medium(Medium.WIRED)
+    rng = substream(1, "lat")
+    samples = [model.rtt(Cities.LONDON, Cities.NEW_YORK, rng)
+               for _ in range(2000)]
+    base = base_rtt(Cities.LONDON, Cities.NEW_YORK)
+    assert all(s > 0 for s in samples)
+    median = statistics.median(samples)
+    assert 0.85 * base < median < 1.15 * base
+
+
+def test_wireless_adds_latency_on_client_side_only():
+    model = LatencyModel.for_medium(Medium.WIRELESS)
+    rng1 = substream(2, "a")
+    rng2 = substream(2, "a")
+    client_side = [model.rtt(Cities.LONDON, Cities.FRANKFURT, rng1,
+                             client_side=True) for _ in range(500)]
+    backbone = [model.rtt(Cities.LONDON, Cities.FRANKFURT, rng2,
+                          client_side=False) for _ in range(500)]
+    assert statistics.mean(client_side) > statistics.mean(backbone)
+
+
+def test_chain_rtt_sums_segments():
+    model = LatencyModel(jitter_sigma=0.0)
+    rng = substream(3, "chain")
+    hops = [Cities.LONDON, Cities.FRANKFURT, Cities.NEW_YORK]
+    chain = model.chain_rtt(hops, rng)
+    direct = (model.rtt(Cities.LONDON, Cities.FRANKFURT, rng, client_side=True)
+              + model.rtt(Cities.FRANKFURT, Cities.NEW_YORK, rng))
+    assert chain == direct  # zero jitter: both are deterministic sums
+
+
+def test_chain_rtt_single_hop_is_zero():
+    model = LatencyModel(jitter_sigma=0.0)
+    rng = substream(4, "single")
+    assert model.chain_rtt([Cities.LONDON], rng) == 0.0

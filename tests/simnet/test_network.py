@@ -1,0 +1,108 @@
+"""Unit tests for the fluid network."""
+
+import pytest
+
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.resource import Resource
+
+
+@pytest.fixture()
+def sim():
+    kernel = EventKernel()
+    return kernel, FluidNetwork(kernel)
+
+
+def test_single_flow_completion_time(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    done = []
+    net.start_flow([r], 1000.0, on_complete=lambda f: done.append(kernel.now))
+    kernel.run()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_zero_byte_flow_completes_immediately(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    done = []
+    net.start_flow([r], 0.0, on_complete=lambda f: done.append(kernel.now))
+    assert done == [0.0]
+
+
+def test_two_sequential_starts_share_capacity(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    finished = {}
+    net.start_flow([r], 1000.0, on_complete=lambda f: finished.setdefault("a", kernel.now))
+    kernel.run(until=5.0)  # flow a has moved 500 bytes
+    net.start_flow([r], 250.0, on_complete=lambda f: finished.setdefault("b", kernel.now))
+    kernel.run()
+    # From t=5 both flows get 50 B/s; b finishes at t=10 (250/50);
+    # a then has 250 left at 100 B/s, finishing at 12.5.
+    assert finished["b"] == pytest.approx(10.0)
+    assert finished["a"] == pytest.approx(12.5)
+
+
+def test_abort_mid_flight_reports_partial_bytes(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    seen = {}
+    flow = net.start_flow([r], 1000.0, on_abort=lambda f: seen.update(
+        bytes=f.bytes_done, reason=f.abort_reason))
+    kernel.run(until=3.0)
+    net.abort_flow(flow, reason="test-abort")
+    assert seen["bytes"] == pytest.approx(300.0)
+    assert seen["reason"] == "test-abort"
+    kernel.run()
+    assert not net.active_flows
+
+
+def test_background_load_change_slows_flow(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    done = []
+    net.start_flow([r], 1000.0, on_complete=lambda f: done.append(kernel.now))
+    kernel.run(until=5.0)
+    r.set_background_load(1.0)  # halve the flow's share from t=5
+    net.notify_load_changed()
+    kernel.run()
+    # 500 bytes at 100 B/s, then 500 bytes at 50 B/s -> 5 + 10 = 15s.
+    assert done == [pytest.approx(15.0)]
+
+
+def test_parallel_flows_on_disjoint_resources_independent(sim):
+    kernel, net = sim
+    r1, r2 = Resource("r1", 100.0), Resource("r2", 200.0)
+    finished = {}
+    net.start_flow([r1], 1000.0, on_complete=lambda f: finished.setdefault("a", kernel.now))
+    net.start_flow([r2], 1000.0, on_complete=lambda f: finished.setdefault("b", kernel.now))
+    kernel.run()
+    assert finished["a"] == pytest.approx(10.0)
+    assert finished["b"] == pytest.approx(5.0)
+
+
+def test_completion_events_cascade(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    finished = {}
+    net.start_flow([r], 400.0, on_complete=lambda f: finished.setdefault("short", kernel.now))
+    net.start_flow([r], 1000.0, on_complete=lambda f: finished.setdefault("long", kernel.now))
+    kernel.run()
+    # Both at 50 B/s: short done at t=8 (400/50). Long then has 600 left
+    # at 100 B/s -> t = 8 + 6 = 14.
+    assert finished["short"] == pytest.approx(8.0)
+    assert finished["long"] == pytest.approx(14.0)
+
+
+def test_abort_then_remaining_flow_speeds_up(sim):
+    kernel, net = sim
+    r = Resource("r", 100.0)
+    finished = {}
+    victim = net.start_flow([r], 10_000.0)
+    net.start_flow([r], 500.0, on_complete=lambda f: finished.setdefault("kept", kernel.now))
+    kernel.run(until=2.0)
+    net.abort_flow(victim)
+    kernel.run()
+    # kept: 100 bytes by t=2 (50 B/s), then 400 at 100 B/s -> t=6.
+    assert finished["kept"] == pytest.approx(6.0)

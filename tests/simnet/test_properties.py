@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the fluid-network invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.fairshare import compute_fair_rates
+from repro.simnet.flow import Flow
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.resource import Resource
+
+
+@st.composite
+def flow_scenarios(draw):
+    """Random resources + random flows over them."""
+    n_res = draw(st.integers(min_value=1, max_value=5))
+    resources = [
+        Resource(f"r{i}",
+                 capacity_bps=draw(st.floats(min_value=10.0, max_value=1e6)),
+                 background_load=draw(st.floats(min_value=0.0, max_value=10.0)))
+        for i in range(n_res)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for _ in range(n_flows):
+        k = draw(st.integers(min_value=1, max_value=n_res))
+        idx = draw(st.permutations(range(n_res)))
+        path = tuple(resources[i] for i in idx[:k])
+        weight = draw(st.floats(min_value=0.1, max_value=5.0))
+        size = draw(st.floats(min_value=1.0, max_value=1e7))
+        flows.append(Flow(path, size, weight=weight))
+    return resources, flows
+
+
+@given(flow_scenarios())
+@settings(max_examples=120, deadline=None)
+def test_no_resource_oversubscribed(scenario):
+    resources, flows = scenario
+    rates = compute_fair_rates(flows)
+    for res in resources:
+        used = sum(rate for flow, rate in rates.items() if res in flow.path)
+        # Background load also consumes capacity, so real flows must fit
+        # within capacity even before the background share.
+        assert used <= res.capacity_bps * (1 + 1e-9) + 1e-6
+
+
+@given(flow_scenarios())
+@settings(max_examples=120, deadline=None)
+def test_all_rates_positive_and_assigned(scenario):
+    _, flows = scenario
+    rates = compute_fair_rates(flows)
+    assert set(rates) == set(flows)
+    assert all(rate > 0 for rate in rates.values())
+
+
+@given(flow_scenarios())
+@settings(max_examples=80, deadline=None)
+def test_each_flow_has_a_bottleneck(scenario):
+    """Max-min fairness: every flow is frozen at some resource where the
+    leftover capacity is exactly the background flow's share at that
+    flow's fair-share level — i.e. the flow could not be sped up without
+    taking capacity from an equal-or-slower competitor."""
+    resources, flows = scenario
+    rates = compute_fair_rates(flows)
+    leftover = {}
+    for res in resources:
+        used = sum(rate for flow, rate in rates.items() if res in flow.path)
+        leftover[res] = res.capacity_bps - used
+    for flow in flows:
+        share = rates[flow] / flow.weight
+        bottlenecked = any(
+            leftover[res] <= share * res.background_load + res.capacity_bps * 1e-6
+            for res in flow.path)
+        assert bottlenecked, f"flow {flow} has no saturated bottleneck"
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31), st.floats(min_value=10.0, max_value=1e5),
+       st.floats(min_value=1.0, max_value=1e6))
+@settings(max_examples=60, deadline=None)
+def test_single_flow_duration_exact(seed, cap, size):
+    """A lone flow's completion time is exactly size/capacity."""
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    res = Resource("r", cap)
+    done = []
+    net.start_flow([res], size, on_complete=lambda f: done.append(kernel.now))
+    kernel.run()
+    assert done
+    assert abs(done[0] - size / cap) < 1e-6 * max(1.0, size / cap)
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_work_conservation_total_bytes(sizes):
+    """All started bytes are eventually delivered (no loss, no dup)."""
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    res = Resource("r", 1000.0)
+    delivered = []
+    for size in sizes:
+        net.start_flow([res], size, on_complete=lambda f: delivered.append(f.size_bytes))
+    kernel.run()
+    assert abs(sum(delivered) - sum(sizes)) < 1e-6 * max(1.0, sum(sizes))
+    assert len(delivered) == len(sizes)

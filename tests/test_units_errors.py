@@ -1,0 +1,55 @@
+"""Tests for the units and errors base modules."""
+
+import pytest
+
+from repro import errors, units
+
+
+def test_bandwidth_conversions():
+    assert units.mbit(8) == 1_000_000.0  # 8 Mbit/s = 1 MB/s
+    assert units.kbit(8) == 1_000.0
+    assert units.gbit(1) == 125_000_000.0
+
+
+def test_size_and_time_constants():
+    assert units.mbytes(5) == 5 * units.MB
+    assert units.WEEK == 7 * units.DAY
+    assert units.seconds_to_ms(1.5) == 1500.0
+
+
+def test_error_hierarchy():
+    for exc_type in (errors.SimulationError, errors.TransferAborted,
+                     errors.ProcessTimeout, errors.ChannelFailed,
+                     errors.ConfigError, errors.CircuitError,
+                     errors.UnknownTransportError):
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_transfer_aborted_carries_context():
+    exc = errors.TransferAborted(1234.0, reason="proxy-churn")
+    assert exc.bytes_done == 1234.0
+    assert exc.reason == "proxy-churn"
+    assert "proxy-churn" in str(exc)
+
+
+def test_channel_failed_defaults():
+    exc = errors.ChannelFailed("im-refused")
+    assert exc.bytes_done == 0.0
+    assert "im-refused" in str(exc)
+
+
+def test_unknown_transport_lists_known():
+    exc = errors.UnknownTransportError("warp", ["tor", "obfs4"])
+    assert "warp" in str(exc)
+    assert "obfs4" in str(exc)
+
+
+def test_process_timeout_message():
+    exc = errors.ProcessTimeout(120.0)
+    assert exc.timeout_s == 120.0
+    assert "120.0" in str(exc)
+
+
+def test_package_version():
+    import repro
+    assert repro.__version__ == "1.0.0"

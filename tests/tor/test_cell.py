@@ -1,0 +1,48 @@
+"""Unit tests for cell framing and flow-control math."""
+
+import pytest
+
+from repro.tor.cell import (
+    CELL_OVERHEAD_FACTOR,
+    CELL_SIZE,
+    RELAY_PAYLOAD,
+    STREAM_WINDOW_BYTES,
+    cells_for_payload,
+    circuit_throughput_cap_bps,
+    stream_throughput_cap_bps,
+    wire_bytes,
+)
+
+
+def test_cells_for_payload_boundaries():
+    assert cells_for_payload(0) == 0
+    assert cells_for_payload(1) == 1
+    assert cells_for_payload(RELAY_PAYLOAD) == 1
+    assert cells_for_payload(RELAY_PAYLOAD + 1) == 2
+
+
+def test_wire_bytes_rounding():
+    assert wire_bytes(RELAY_PAYLOAD) == CELL_SIZE
+    assert wire_bytes(2 * RELAY_PAYLOAD) == 2 * CELL_SIZE
+
+
+def test_overhead_factor_small():
+    assert 1.0 < CELL_OVERHEAD_FACTOR < 1.05
+
+
+def test_stream_cap_inverse_in_rtt():
+    fast = stream_throughput_cap_bps(0.1)
+    slow = stream_throughput_cap_bps(0.4)
+    assert fast == pytest.approx(4 * slow)
+    assert fast == pytest.approx(STREAM_WINDOW_BYTES / 0.1)
+
+
+def test_circuit_cap_twice_stream_cap():
+    rtt = 0.25
+    assert circuit_throughput_cap_bps(rtt) == pytest.approx(
+        2 * stream_throughput_cap_bps(rtt))
+
+
+def test_caps_guard_against_tiny_rtt():
+    # An RTT of zero must not yield infinite capacity.
+    assert stream_throughput_cap_bps(0.0) < float("inf")

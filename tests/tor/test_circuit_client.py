@@ -1,0 +1,160 @@
+"""Unit tests for circuits, the Tor client, and the controller."""
+
+import pytest
+
+from repro.simnet.geo import Cities, Medium
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.rng import substream
+from repro.simnet.session import run_process
+from repro.tor.client import TorClient, TorClientConfig
+from repro.tor.consensus import generate_consensus
+from repro.tor.controller import CircuitController, PinnedCircuitSpec
+
+
+@pytest.fixture()
+def world():
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    consensus = generate_consensus(5)
+    client = TorClient(kernel, consensus, Cities.LONDON,
+                       rng=substream(5, "client"))
+    return kernel, net, consensus, client
+
+
+def run(kernel, net, gen, **kw):
+    return run_process(kernel, net, gen, **kw)
+
+
+def test_circuit_build_takes_time(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        circuit = yield from client.circuit_process()
+        return circuit
+
+    circuit = run(kernel, net, proc())
+    assert circuit.built
+    assert kernel.now > 0.1  # three round trips + queueing is not free
+    assert kernel.now < 20.0
+    assert len(circuit.hops) == 3
+
+
+def test_circuit_reused_when_fresh(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        c1 = yield from client.circuit_process()
+        c2 = yield from client.circuit_process()
+        return c1, c2
+
+    c1, c2 = run(kernel, net, proc())
+    assert c1 is c2
+    assert client.circuits_built == 1
+
+
+def test_circuit_rebuilt_after_dirtiness(world):
+    kernel, net, consensus, client = world
+    client.config.max_circuit_dirtiness_s = 1.0
+
+    def proc():
+        c1 = yield from client.circuit_process()
+        from repro.simnet.session import Delay
+        yield Delay(5.0)
+        c2 = yield from client.circuit_process()
+        return c1, c2
+
+    c1, c2 = run(kernel, net, proc())
+    assert c1 is not c2
+    assert client.circuits_built == 2
+
+
+def test_drop_circuit_forces_rebuild(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        c1 = yield from client.circuit_process()
+        client.drop_circuit()
+        c2 = yield from client.circuit_process()
+        return c1, c2
+
+    c1, c2 = run(kernel, net, proc())
+    assert c1 is not c2
+
+
+def test_rtt_sample_positive_and_larger_with_destination(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        return (yield from client.circuit_process())
+
+    circuit = run(kernel, net, proc())
+    rng_values = [circuit.rtt_sample() for _ in range(50)]
+    assert all(v > 0 for v in rng_values)
+    base = circuit.base_rtt_estimate()
+    with_dest = circuit.base_rtt_estimate(Cities.SINGAPORE)
+    assert with_dest > base
+
+
+def test_flow_control_resource_is_cached_per_circuit(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        return (yield from client.circuit_process())
+
+    circuit = run(kernel, net, proc())
+    assert circuit.flow_control_resource() is circuit.flow_control_resource()
+    # Stream caps are one per stream.
+    assert circuit.stream_cap_resource() is not circuit.stream_cap_resource()
+
+
+def test_resource_path_deduplicates(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        return (yield from client.circuit_process())
+
+    circuit = run(kernel, net, proc())
+    path = circuit.resource_path()
+    assert len(path) == len(set(path))
+    extra = circuit.stream_cap_resource()
+    assert extra in circuit.resource_path(extra=[extra])
+
+
+def test_controller_pins_full_circuit(world):
+    kernel, net, consensus, client = world
+    controller = CircuitController(client)
+    rng = substream(5, "controller")
+    spec = controller.sample_fixed_middle_exit(consensus, rng)
+    guard = consensus.guards()[0]
+    controller.set_conf_fixed_circuit(PinnedCircuitSpec(
+        entry=guard, middle=spec.middle, exit=spec.exit))
+
+    def proc():
+        return (yield from client.circuit_process())
+
+    circuit = run(kernel, net, proc())
+    assert circuit.hops[0] is guard
+    assert circuit.hops[1] is spec.middle
+    assert circuit.hops[2] is spec.exit
+
+
+def test_bootstrap_process_duration_band(world):
+    kernel, net, consensus, client = world
+
+    def proc():
+        yield from client.bootstrap_process()
+
+    run(kernel, net, proc())
+    assert 3.0 <= kernel.now <= 90.0
+
+
+def test_wireless_client_has_lower_access_bandwidth():
+    kernel = EventKernel()
+    consensus = generate_consensus(5)
+    config = TorClientConfig()
+    wired = TorClient(kernel, consensus, Cities.LONDON,
+                      rng=substream(1, "a"), medium=Medium.WIRED, config=config)
+    wifi = TorClient(kernel, consensus, Cities.LONDON,
+                     rng=substream(1, "b"), medium=Medium.WIRELESS, config=config)
+    assert wifi.access_resource.capacity_bps < wired.access_resource.capacity_bps

@@ -1,0 +1,90 @@
+"""Unit tests for synthetic consensus generation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simnet.rng import substream
+from repro.tor.consensus import Consensus, ConsensusParams, generate_consensus
+from repro.tor.relay import Flag
+
+
+def test_deterministic_generation():
+    a = generate_consensus(42)
+    b = generate_consensus(42)
+    assert [r.fingerprint for r in a.relays] == [r.fingerprint for r in b.relays]
+    assert [r.bandwidth_bps for r in a.relays] == [r.bandwidth_bps for r in b.relays]
+
+
+def test_different_seed_different_network():
+    a = generate_consensus(42)
+    b = generate_consensus(43)
+    assert [r.fingerprint for r in a.relays] != [r.fingerprint for r in b.relays]
+
+
+def test_population_has_guards_and_exits():
+    consensus = generate_consensus(7)
+    assert len(consensus.guards()) > 20
+    assert len(consensus.exits()) > 20
+
+
+def test_geography_skews_to_europe_and_na():
+    consensus = generate_consensus(11, ConsensusParams(n_relays=500))
+    regions = [r.city.region for r in consensus.relays]
+    eu = regions.count("EU") / len(regions)
+    asia = regions.count("AS") / len(regions)
+    assert eu > 0.45
+    assert asia < 0.25
+
+
+def test_bandwidth_weighted_sampling_prefers_fat_relays():
+    consensus = generate_consensus(13)
+    rng = substream(13, "sampling")
+    picks = [consensus.sample(rng) for _ in range(2000)]
+    mean_picked = sum(r.bandwidth_bps for r in picks) / len(picks)
+    mean_all = sum(r.bandwidth_bps for r in consensus.relays) / len(consensus)
+    assert mean_picked > mean_all  # heavier relays chosen more often
+
+
+def test_sample_honours_flag_and_exclusion():
+    consensus = generate_consensus(17)
+    rng = substream(17, "sampling")
+    exits = consensus.exits()
+    excluded = {exits[0].fingerprint}
+    for _ in range(100):
+        pick = consensus.sample(rng, flag=Flag.EXIT, exclude=excluded)
+        assert pick.has_flag(Flag.EXIT)
+        assert pick.fingerprint not in excluded
+
+
+def test_sample_raises_when_no_candidates():
+    consensus = generate_consensus(19, ConsensusParams(n_relays=3))
+    rng = substream(19, "sampling")
+    everyone = {r.fingerprint for r in consensus.relays}
+    with pytest.raises(ConfigError):
+        consensus.sample(rng, exclude=everyone)
+
+
+def test_min_relay_count_enforced():
+    with pytest.raises(ConfigError):
+        generate_consensus(1, ConsensusParams(n_relays=2))
+
+
+def test_resample_all_loads_changes_background():
+    consensus = generate_consensus(23)
+    before = [r.resource.background_load for r in consensus.relays]
+    consensus.resample_all_loads(substream(23, "epoch2"))
+    after = [r.resource.background_load for r in consensus.relays]
+    assert before != after
+
+
+def test_by_fingerprint_roundtrip():
+    consensus = generate_consensus(29)
+    relay = consensus.relays[5]
+    assert consensus.by_fingerprint(relay.fingerprint) is relay
+    with pytest.raises(ConfigError):
+        consensus.by_fingerprint("not-a-fingerprint")
+
+
+def test_consensus_requires_relays():
+    with pytest.raises(ConfigError):
+        Consensus([])

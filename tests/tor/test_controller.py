@@ -1,0 +1,88 @@
+"""Unit tests for the stem/carml-style circuit controller."""
+
+import pytest
+
+from repro.simnet.geo import Cities
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.rng import substream
+from repro.simnet.session import run_process
+from repro.tor.client import TorClient
+from repro.tor.consensus import generate_consensus
+from repro.tor.controller import CircuitController, PinnedCircuitSpec
+from repro.tor.relay import make_colocated_guard_and_bridge
+from repro.units import mbit
+
+
+@pytest.fixture()
+def setup():
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    consensus = generate_consensus(8)
+    client = TorClient(kernel, consensus, Cities.LONDON,
+                       rng=substream(8, "client"))
+    return kernel, net, consensus, client
+
+
+def build(kernel, net, client):
+    def proc():
+        return (yield from client.circuit_process())
+    return run_process(kernel, net, proc())
+
+
+def test_fixed_circuit_persists_across_accesses(setup):
+    kernel, net, consensus, client = setup
+    controller = CircuitController(client)
+    spec = controller.sample_fixed_middle_exit(consensus, substream(8, "mx"))
+    guard = consensus.guards()[0]
+    controller.set_conf_fixed_circuit(PinnedCircuitSpec(
+        entry=guard, middle=spec.middle, exit=spec.exit))
+    first = build(kernel, net, client)
+    kernel.run(until=kernel.now + 100_000.0)  # way past normal dirtiness
+    second = build(kernel, net, client)
+    assert first is second  # MaxCircuitDirtiness effectively infinite
+
+
+def test_new_identity_rebuilds_but_keeps_pins(setup):
+    kernel, net, consensus, client = setup
+    controller = CircuitController(client)
+    spec = controller.sample_fixed_middle_exit(consensus, substream(8, "mx"))
+    controller.set_conf_fixed_circuit(PinnedCircuitSpec(
+        middle=spec.middle, exit=spec.exit))
+    first = build(kernel, net, client)
+    controller.new_identity()
+    second = build(kernel, net, client)
+    assert first is not second
+    assert second.hops[1] is spec.middle
+    assert second.hops[2] is spec.exit
+
+
+def test_default_entry_used_when_pt_does_not_pin(setup):
+    """The colocated-guard mechanism of the fixed-circuit experiments."""
+    kernel, net, consensus, client = setup
+    guard, bridge = make_colocated_guard_and_bridge(Cities.FRANKFURT,
+                                                    mbit(100))
+    client.default_entry = guard
+    client.pin_entry(None)  # what a vanilla/set-2 channel does
+    circuit = build(kernel, net, client)
+    assert circuit.hops[0] is guard
+
+
+def test_explicit_entry_overrides_default(setup):
+    kernel, net, consensus, client = setup
+    guard, bridge = make_colocated_guard_and_bridge(Cities.FRANKFURT,
+                                                    mbit(100))
+    client.default_entry = guard
+    client.pin_entry(bridge)  # what a set-1 PT channel does
+    circuit = build(kernel, net, client)
+    assert circuit.hops[0] is bridge
+    assert circuit.hops[0].resource is guard.resource  # same host uplink
+
+
+def test_sample_fixed_middle_exit_leaves_entry_open(setup):
+    kernel, net, consensus, client = setup
+    controller = CircuitController(client)
+    spec = controller.sample_fixed_middle_exit(consensus, substream(8, "mx"))
+    assert spec.entry is None
+    assert spec.middle is not None
+    assert spec.exit is not None

@@ -1,0 +1,80 @@
+"""Unit tests for path selection and guard persistence."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.simnet.geo import Cities
+from repro.simnet.rng import substream
+from repro.tor.consensus import generate_consensus
+from repro.tor.guard import GuardManager
+from repro.tor.path import CircuitPath, PathSelector
+from repro.tor.relay import Bridge, Flag
+from repro.units import mbit
+
+
+@pytest.fixture()
+def consensus():
+    return generate_consensus(99)
+
+
+def test_path_has_distinct_hops(consensus):
+    selector = PathSelector(consensus)
+    rng = substream(99, "path")
+    for _ in range(100):
+        path = selector.select(rng)
+        fps = {path.entry.fingerprint, path.middle.fingerprint, path.exit.fingerprint}
+        assert len(fps) == 3
+
+
+def test_path_respects_positional_flags(consensus):
+    selector = PathSelector(consensus)
+    rng = substream(99, "path")
+    for _ in range(50):
+        path = selector.select(rng)
+        assert path.entry.has_flag(Flag.GUARD)
+        assert path.exit.has_flag(Flag.EXIT)
+
+
+def test_pinned_entry_bridge_is_used(consensus):
+    selector = PathSelector(consensus)
+    rng = substream(99, "path")
+    bridge = Bridge("pt-server", Cities.FRANKFURT, mbit(100), managed=True)
+    path = selector.select(rng, entry=bridge)
+    assert path.entry is bridge
+
+
+def test_pinned_middle_and_exit(consensus):
+    selector = PathSelector(consensus)
+    rng = substream(99, "path")
+    ref = selector.select(rng)
+    path = selector.select(rng, middle=ref.middle, exit=ref.exit)
+    assert path.middle is ref.middle
+    assert path.exit is ref.exit
+    assert path.entry.fingerprint not in {ref.middle.fingerprint, ref.exit.fingerprint}
+
+
+def test_duplicate_hops_rejected(consensus):
+    relay = consensus.guards()[0]
+    with pytest.raises(CircuitError):
+        CircuitPath(entry=relay, middle=relay, exit=consensus.exits()[0])
+
+
+def test_guard_is_sticky(consensus):
+    manager = GuardManager(consensus, substream(99, "guard"))
+    first = manager.current()
+    assert all(manager.current() is first for _ in range(20))
+
+
+def test_guard_rotation_changes_guard(consensus):
+    manager = GuardManager(consensus, substream(99, "guard"))
+    first = manager.current()
+    second = manager.rotate()
+    assert second is not first
+    assert manager.current() is second
+
+
+def test_guard_pin(consensus):
+    manager = GuardManager(consensus, substream(99, "guard"))
+    target = consensus.guards()[3]
+    manager.pin(target)
+    assert manager.current() is target

@@ -1,0 +1,60 @@
+"""Unit tests for relays and bridges."""
+
+from repro.simnet.background import LoadModel
+from repro.simnet.geo import Cities
+from repro.simnet.rng import substream
+from repro.tor.relay import Bridge, Flag, Relay, RelaySpec, make_colocated_guard_and_bridge
+from repro.units import mbit
+
+
+def make_relay(flags=Flag.GUARD | Flag.FAST, load_mean=5.0):
+    spec = RelaySpec("test", "f" * 40, Cities.FRANKFURT, mbit(50), flags,
+                     load_model=LoadModel(mean=load_mean))
+    return Relay(spec)
+
+
+def test_relay_exposes_spec_fields():
+    relay = make_relay()
+    assert relay.nickname == "test"
+    assert relay.city == Cities.FRANKFURT
+    assert relay.has_flag(Flag.GUARD)
+    assert not relay.has_flag(Flag.EXIT)
+
+
+def test_resample_load_updates_resource():
+    relay = make_relay(load_mean=10.0)
+    rng = substream(1, "load")
+    load = relay.resample_load(rng)
+    assert load == relay.resource.background_load
+    assert load > 0
+
+
+def test_processing_delay_grows_with_load():
+    rng1, rng2 = substream(2, "a"), substream(2, "a")
+    idle = make_relay(load_mean=0.0)
+    idle.resource.set_background_load(0.0)
+    busy = make_relay(load_mean=0.0)
+    busy.resource.set_background_load(20.0)
+    idle_delays = [idle.processing_delay(rng1) for _ in range(200)]
+    busy_delays = [busy.processing_delay(rng2) for _ in range(200)]
+    assert sum(busy_delays) > sum(idle_delays) * 5
+
+
+def test_managed_bridge_has_low_load():
+    bridge = Bridge("obfs4-default", Cities.FRANKFURT, mbit(100), managed=True)
+    assert bridge.has_flag(Flag.GUARD)
+    assert bridge.spec.load_model.mean < 2.0
+
+
+def test_private_bridge_lower_load_than_managed():
+    managed = Bridge("m", Cities.FRANKFURT, mbit(100), managed=True)
+    private = Bridge("p", Cities.FRANKFURT, mbit(100), managed=False)
+    assert private.spec.load_model.mean <= managed.spec.load_model.mean
+
+
+def test_colocated_pair_shares_resource():
+    guard, bridge = make_colocated_guard_and_bridge(Cities.FRANKFURT, mbit(80))
+    assert guard.resource is bridge.resource
+    assert guard.has_flag(Flag.GUARD)
+    assert bridge.has_flag(Flag.GUARD)
+    assert guard.fingerprint != bridge.fingerprint

@@ -1,0 +1,59 @@
+"""Shared fixtures for web-layer tests: a controllable fake channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelFailed
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.resource import Resource
+from repro.simnet.session import Delay, GetTime, Transfer
+from repro.web.types import RequestResult
+
+
+class FakeChannel:
+    """A deterministic channel: fixed connect/request latency, one
+    bottleneck resource, optional failure schedule."""
+
+    def __init__(self, kernel, *, connect_s=1.0, request_rtt_s=0.2,
+                 bandwidth_bps=1_000_000.0, max_parallel_streams=6,
+                 supports_browser=True, fails_at=None,
+                 connect_error=None):
+        self.kernel = kernel
+        self.connect_s = connect_s
+        self.request_rtt_s = request_rtt_s
+        self.resource = Resource("fake-channel", bandwidth_bps)
+        self.max_parallel_streams = max_parallel_streams
+        self.supports_browser = supports_browser
+        self.fails_at = fails_at
+        self.connect_error = connect_error
+        self.requests_made = 0
+
+    def connect_process(self):
+        yield Delay(self.connect_s)
+        if self.connect_error is not None:
+            raise ChannelFailed(self.connect_error)
+
+    def request_process(self, upload_bytes, download_bytes, *, weight=1.0):
+        self.requests_made += 1
+        start = yield GetTime()
+        yield Delay(self.request_rtt_s)
+        ttfb = (yield GetTime()) - start
+        yield Transfer((self.resource,), download_bytes, weight=weight,
+                       abort_at=self.fails_at)
+        end = yield GetTime()
+        return RequestResult(ttfb_s=ttfb, duration_s=end - start,
+                             nbytes=download_bytes)
+
+
+@pytest.fixture()
+def sim():
+    kernel = EventKernel()
+    return kernel, FluidNetwork(kernel)
+
+
+@pytest.fixture()
+def fake_channel(sim):
+    kernel, _net = sim
+    return FakeChannel(kernel)

@@ -1,0 +1,69 @@
+"""Unit tests for website catalogs and page models."""
+
+from repro.units import MB
+from repro.web.catalog import (
+    STANDARD_FILE_SIZES_MB,
+    make_cbl_catalog,
+    make_tranco_catalog,
+    standard_files,
+)
+from repro.web.page import PageSpec, SubresourceSpec
+
+
+def test_catalog_deterministic():
+    a = make_tranco_catalog(1, 50)
+    b = make_tranco_catalog(1, 50)
+    assert [p.main_size_bytes for p in a] == [p.main_size_bytes for p in b]
+    assert [len(p.resources) for p in a] == [len(p.resources) for p in b]
+
+
+def test_catalogs_differ_by_seed():
+    a = make_tranco_catalog(1, 50)
+    b = make_tranco_catalog(2, 50)
+    assert [p.main_size_bytes for p in a] != [p.main_size_bytes for p in b]
+
+
+def test_tranco_heavier_than_cbl_on_average():
+    tranco = make_tranco_catalog(3, 300)
+    cbl = make_cbl_catalog(3, 300)
+    mean_tranco = sum(p.total_bytes for p in tranco) / len(tranco)
+    mean_cbl = sum(p.total_bytes for p in cbl) / len(cbl)
+    assert mean_tranco > mean_cbl
+
+
+def test_page_sizes_in_sane_bands():
+    for page in make_tranco_catalog(5, 200):
+        assert 2_000 <= page.main_size_bytes <= 2 * MB
+        assert len(page.resources) <= 160
+        for res in page.resources:
+            assert 200 <= res.size_bytes <= 4 * MB
+            assert res.depth in (1, 2)
+
+
+def test_urls_unique():
+    pages = make_tranco_catalog(7, 100)
+    assert len({p.url for p in pages}) == 100
+
+
+def test_origin_cities_assigned():
+    pages = make_tranco_catalog(9, 100)
+    cities = {p.origin_city.name for p in pages}
+    assert len(cities) >= 3  # spread over multiple datacentres
+
+
+def test_page_wave_and_depth_helpers():
+    res = (
+        SubresourceSpec(0, 1000, depth=1, above_fold=True),
+        SubresourceSpec(1, 2000, depth=2, above_fold=False),
+        SubresourceSpec(2, 500, depth=1, above_fold=False),
+    )
+    page = PageSpec("x", 5000, make_tranco_catalog(1, 1)[0].origin_city, res)
+    assert page.max_depth == 2
+    assert [r.rid for r in page.wave(1)] == [0, 2]
+    assert page.total_bytes == 8500
+
+
+def test_standard_files_match_paper_sizes():
+    files = standard_files()
+    assert [f.size_bytes / MB for f in files] == list(STANDARD_FILE_SIZES_MB)
+    assert STANDARD_FILE_SIZES_MB == (5, 10, 20, 50, 100)

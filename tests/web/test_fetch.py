@@ -1,0 +1,151 @@
+"""Unit tests for the curl/browser/file fetchers against a fake channel."""
+
+import pytest
+
+from repro.simnet.geo import Cities
+from repro.simnet.session import run_process
+from repro.web.catalog import make_tranco_catalog
+from repro.web.fetch import BrowserConfig, browser_fetch, curl_fetch, file_fetch
+from repro.web.page import FileSpec, PageSpec, SubresourceSpec
+from repro.web.types import Status
+
+from tests.web.conftest import FakeChannel
+
+
+def simple_page(n_resources=4, depth2=1):
+    resources = tuple(
+        SubresourceSpec(i, 10_000.0, depth=2 if i < depth2 else 1,
+                        above_fold=(i % 2 == 0))
+        for i in range(n_resources))
+    return PageSpec("test.example", 50_000.0, Cities.NEW_YORK, resources)
+
+
+def test_curl_fetch_complete(sim, fake_channel):
+    kernel, net = sim
+    page = simple_page()
+    result = run_process(kernel, net, curl_fetch(fake_channel, page))
+    assert result.status is Status.COMPLETE
+    assert result.bytes_received == page.main_size_bytes
+    assert result.ttfb_s == pytest.approx(1.0 + 0.2)  # connect + request rtt
+    assert result.duration_s > result.ttfb_s
+    assert fake_channel.requests_made == 1  # curl never loads subresources
+
+
+def test_curl_fetch_duration_includes_transfer(sim):
+    kernel, net = sim
+    channel = FakeChannel(kernel, bandwidth_bps=10_000.0)
+    page = simple_page()
+    result = run_process(kernel, net, curl_fetch(channel, page))
+    # 50 KB at 10 KB/s = 5s transfer + 1s connect + 0.2s rtt.
+    assert result.duration_s == pytest.approx(6.2)
+
+
+def test_curl_fetch_connect_failure_is_failed(sim):
+    kernel, net = sim
+    channel = FakeChannel(kernel, connect_error="im-login-refused")
+    result = run_process(kernel, net, curl_fetch(channel, simple_page()))
+    assert result.status is Status.FAILED
+    assert result.bytes_received == 0
+    assert result.failure_reason == "im-login-refused"
+
+
+def test_curl_fetch_mid_transfer_abort_is_partial(sim):
+    kernel, net = sim
+    channel = FakeChannel(kernel, bandwidth_bps=10_000.0, fails_at=3.7)
+    result = run_process(kernel, net, curl_fetch(channel, simple_page()))
+    assert result.status is Status.PARTIAL
+    assert 0 < result.bytes_received < 50_000.0
+    assert result.failure_reason == "channel-failure"
+
+
+def test_curl_fetch_timeout_is_partial(sim):
+    kernel, net = sim
+    channel = FakeChannel(kernel, bandwidth_bps=1000.0)  # 50s transfer
+    result = run_process(kernel, net, curl_fetch(channel, simple_page()),
+                         timeout=10.0)
+    assert result.status is Status.PARTIAL
+    assert result.duration_s == pytest.approx(10.0)
+    assert 0 < result.bytes_received < 50_000.0
+
+
+def test_browser_fetch_loads_resource_tree(sim):
+    kernel, net = sim
+    channel = FakeChannel(kernel)
+    page = simple_page(n_resources=8)
+    config = BrowserConfig(adblock=False)
+    result = run_process(kernel, net, browser_fetch(channel, page, config))
+    assert result.status is Status.COMPLETE
+    assert result.resources_fetched == 8
+    assert result.bytes_received == pytest.approx(page.total_bytes)
+    assert channel.requests_made == 9
+
+
+def test_browser_fetch_slower_than_curl(sim):
+    kernel, net = sim
+    page = simple_page(n_resources=12)
+    c1 = FakeChannel(kernel)
+    curl_result = run_process(kernel, net, curl_fetch(c1, page))
+    c2 = FakeChannel(kernel)
+    browser_result = run_process(kernel, net, browser_fetch(c2, page))
+    assert browser_result.duration_s > curl_result.duration_s
+
+
+def test_browser_adblock_skips_resources(sim):
+    kernel, net = sim
+    page = simple_page(n_resources=20)
+    channel = FakeChannel(kernel)
+    config = BrowserConfig(adblock=True, adblock_skip_fraction=0.25)
+    result = run_process(kernel, net, browser_fetch(channel, page, config))
+    assert result.resources_total == 15
+    assert result.resources_fetched == 15
+    assert result.status is Status.COMPLETE
+
+
+def test_browser_parallelism_bounded_by_channel(sim):
+    kernel, net = sim
+    page = simple_page(n_resources=6, depth2=0)
+    # Serial channel (camoufler-style): each 10KB resource at 10KB/s
+    # takes ~1s + rtt; six sequential ones take ~7s of transfer time.
+    serial = FakeChannel(kernel, bandwidth_bps=10_000.0, max_parallel_streams=1)
+    r_serial = run_process(kernel, net, browser_fetch(serial, page,
+                                                      BrowserConfig(adblock=False)))
+    parallel = FakeChannel(kernel, bandwidth_bps=10_000.0, max_parallel_streams=6)
+    r_parallel = run_process(kernel, net, browser_fetch(parallel, page,
+                                                        BrowserConfig(adblock=False)))
+    # Same shared bottleneck, so total transfer time is similar, but the
+    # serial channel pays a request RTT per resource instead of per batch.
+    assert r_serial.duration_s > r_parallel.duration_s
+
+
+def test_browser_fetch_timeout_partial_with_events(sim):
+    kernel, net = sim
+    page = simple_page(n_resources=10)
+    channel = FakeChannel(kernel, bandwidth_bps=5_000.0)
+    result = run_process(kernel, net,
+                         browser_fetch(channel, page, BrowserConfig(adblock=False)),
+                         timeout=15.0)
+    assert result.status is Status.PARTIAL
+    assert result.duration_s == pytest.approx(15.0)
+    assert result.resources_fetched < 10
+    assert result.visual_events  # main doc painted before the timeout
+
+
+def test_file_fetch_complete_and_partial(sim):
+    kernel, net = sim
+    spec = FileSpec("file-1mb", 1_000_000.0)
+    ok = run_process(kernel, net, file_fetch(FakeChannel(kernel), spec))
+    assert ok.status is Status.COMPLETE
+    assert ok.duration_s == pytest.approx(1.0 + 0.2 + 1.0)  # connect+rtt+1s
+    dead = run_process(kernel, net, file_fetch(
+        FakeChannel(kernel, fails_at=kernel.now + 1.7), spec))
+    assert dead.status is Status.PARTIAL
+    assert 0 < dead.fraction_downloaded < 1.0
+
+
+def test_fetch_on_generated_catalog_page(sim):
+    kernel, net = sim
+    page = make_tranco_catalog(11, 1)[0]
+    channel = FakeChannel(kernel)
+    result = run_process(kernel, net, curl_fetch(channel, page))
+    assert result.status is Status.COMPLETE
+    assert result.bytes_received == pytest.approx(page.main_size_bytes)

@@ -1,0 +1,58 @@
+"""Unit tests for the speed-index model."""
+
+import pytest
+
+from repro.simnet.geo import Cities
+from repro.simnet.session import run_process
+from repro.web.fetch import BrowserConfig, browser_fetch
+from repro.web.page import PageSpec, SubresourceSpec
+from repro.web.speedindex import speed_index_of, speed_index_s
+from repro.web.types import VisualEvent
+
+from tests.web.conftest import FakeChannel
+
+
+def ev(t, w, above=True):
+    return VisualEvent(time_s=t, weight=w, above_fold=above)
+
+
+def test_single_event_index_is_its_time():
+    assert speed_index_s([ev(3.0, 10.0)], 99.0) == pytest.approx(3.0)
+
+
+def test_no_visual_events_falls_back_to_duration():
+    assert speed_index_s([], 42.0) == 42.0
+    assert speed_index_s([ev(1.0, 0.0)], 42.0) == 42.0
+
+
+def test_two_equal_events_average_their_times():
+    # VC jumps 0 -> 0.5 at t=2, -> 1.0 at t=6: SI = 2 + 0.5*4 = 4.
+    assert speed_index_s([ev(2.0, 1.0), ev(6.0, 1.0)], 99.0) == pytest.approx(4.0)
+
+
+def test_early_heavy_paint_lowers_index():
+    early_heavy = speed_index_s([ev(1.0, 9.0), ev(10.0, 1.0)], 99.0)
+    late_heavy = speed_index_s([ev(1.0, 1.0), ev(10.0, 9.0)], 99.0)
+    assert early_heavy < late_heavy
+
+
+def test_event_order_does_not_matter():
+    a = speed_index_s([ev(2.0, 1.0), ev(6.0, 3.0)], 99.0)
+    b = speed_index_s([ev(6.0, 3.0), ev(2.0, 1.0)], 99.0)
+    assert a == pytest.approx(b)
+
+
+def test_speed_index_below_page_load_time(sim):
+    """The paper notes the speed index is lower than the full load time
+    for all PTs, because below-fold content keeps loading after the
+    visible page is complete."""
+    kernel, net = sim
+    resources = tuple(
+        SubresourceSpec(i, 20_000.0, depth=1, above_fold=(i < 3))
+        for i in range(12))
+    page = PageSpec("si.example", 60_000.0, Cities.NEW_YORK, resources)
+    channel = FakeChannel(kernel, bandwidth_bps=100_000.0)
+    result = run_process(kernel, net,
+                         browser_fetch(channel, page, BrowserConfig(adblock=False)))
+    si = speed_index_of(result)
+    assert 0 < si < result.duration_s
