@@ -1,0 +1,171 @@
+"""Microbenchmarks for the incremental fair-share allocation engine.
+
+Two scenarios pin the before/after of the allocator rewrite:
+
+* **dense surge** — a Snowflake-surge-style population: hundreds of
+  concurrent flows funnelling through one bridge plus shared relay
+  links, reallocated once per event. The optimized engine must beat the
+  reference water-filling by at least 5x here (acceptance criterion).
+* **churn storm** — start/abort/complete storms through the full
+  :class:`FluidNetwork`, exercising epoch batching and the min-ETA
+  scheduler on top of the allocator itself.
+
+Perf-counter totals are printed with each benchmark so regressions in
+collapsing ratio or coalescing show up in CI output, not just wall
+clock. Run with ``--benchmark-disable`` for a fast smoke check.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.simnet.fairshare import (
+    FairShareAllocator,
+    compute_fair_rates_optimized,
+    compute_fair_rates_reference,
+    use_engine,
+)
+from repro.simnet.flow import Flow
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.perfcounters import PerfCounters
+from repro.simnet.resource import Resource
+from repro.simnet.rng import substream
+
+_MBPS = 125_000.0  # bytes/second per Mbit/s
+
+
+def _dense_surge_population(n_flows: int = 520):
+    """A surge-like flow population: few signatures, many members.
+
+    One overloaded bridge, a handful of middle/exit relays, and client
+    access links shared by cohorts of flows — the shape of a campaign
+    replaying the Iran-unrest Snowflake timeline with hundreds of
+    concurrent background users.
+    """
+    rng = substream(2023, "bench", "dense-surge")
+    bridge = Resource("bridge", 40 * _MBPS, background_load=6.0)
+    middles = [Resource(f"middle{i}", 80 * _MBPS, background_load=2.0)
+               for i in range(6)]
+    exits = [Resource(f"exit{i}", 60 * _MBPS, background_load=1.0)
+             for i in range(4)]
+    links = [Resource(f"link{i}", 20 * _MBPS) for i in range(8)]
+    signatures = []
+    for link in links:
+        for _ in range(3):  # ~24 distinct (path, weight) classes
+            path = (link, bridge, rng.choice(middles), rng.choice(exits))
+            weight = rng.choice([1.0, 1.0, 1.0, 2.0])
+            signatures.append((path, weight))
+    flows = []
+    for i in range(n_flows):
+        path, weight = signatures[i % len(signatures)]
+        flows.append(Flow(path, 1e9, weight=weight))
+    return flows
+
+
+def test_perf_dense_surge_allocator_speedup(benchmark):
+    """>=5x over the reference allocator on 500+ concurrent flows.
+
+    Models the simnet hot path: the flow population is stable between
+    events, and every arrival/completion triggers one reallocation. The
+    old engine rebuilt everything per event; the persistent allocator
+    pays membership maintenance once and then O(C log R) per event plus
+    the rate fan-out.
+    """
+    flows = _dense_surge_population()
+    calls = 30
+    counters = PerfCounters()
+
+    # Verify both engines agree on this population before timing it.
+    reference_rates = compute_fair_rates_reference(flows)
+    optimized_rates = compute_fair_rates_optimized(flows)
+    for flow in flows:
+        assert abs(optimized_rates[flow] - reference_rates[flow]) <= \
+            1e-9 * max(1.0, reference_rates[flow])
+
+    allocator = FairShareAllocator()
+    for flow in flows:
+        allocator.add_flow(flow)
+
+    def _time_reference() -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            compute_fair_rates_reference(flows)
+        return time.perf_counter() - start
+
+    def _time_optimized() -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            # One event-driven reallocation: water-fill + rate fan-out.
+            for cls in allocator.allocate(counters):
+                rate = cls.rate
+                for flow in cls.members:
+                    flow.rate_bps = rate
+        return time.perf_counter() - start
+
+    def run():
+        # Best-of-3 per engine: the optimized window is ~2ms, so a
+        # single scheduler stall on a shared CI runner must not flip
+        # the speedup assertion.
+        ref_s = min(_time_reference() for _ in range(3))
+        opt_s = min(_time_optimized() for _ in range(3))
+        return ref_s, opt_s
+
+    ref_s, opt_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = ref_s / opt_s
+    print(f"\ndense surge ({len(flows)} flows, {calls} reallocations):")
+    print(f"  reference: {ref_s * 1e3:8.1f} ms")
+    print(f"  optimized: {opt_s * 1e3:8.1f} ms   speedup: {speedup:.1f}x")
+    print(counters.describe())
+    assert counters.flows_per_class > 10.0  # collapsing engaged
+    assert speedup >= 5.0, f"dense-surge speedup {speedup:.1f}x < 5x"
+
+
+def _run_churn_storm(engine: str) -> tuple[float, PerfCounters]:
+    """Start/finish storms through the full network stack."""
+    counters = PerfCounters()
+    with use_engine(engine):
+        kernel = EventKernel()
+        net = FluidNetwork(kernel, counters=counters)
+        rng = substream(2023, "bench", "churn", engine)
+        bridge = Resource("bridge", 40 * _MBPS, background_load=4.0)
+        links = [Resource(f"link{i}", 20 * _MBPS) for i in range(8)]
+        start = time.perf_counter()
+        for wave in range(60):
+            doomed = []
+            for i in range(40):
+                link = links[i % len(links)]
+                flow = net.start_flow((link, bridge),
+                                      rng.uniform(5e4, 5e6))
+                if i % 4 == 0:
+                    doomed.append(flow)
+            kernel.run(until=kernel.now + 0.25)
+            for flow in doomed:  # simulated user cancellations
+                net.abort_flow(flow)
+            kernel.run(until=kernel.now + 0.75)
+        kernel.run()
+        elapsed = time.perf_counter() - start
+    return elapsed, counters
+
+
+def test_perf_churn_storm_network(benchmark):
+    """End-to-end start/abort/complete storm: optimized engine wins and
+    epoch batching coalesces the same-instant mutations."""
+
+    def run():
+        ref_s, _ = _run_churn_storm("reference")
+        opt_s, opt_counters = _run_churn_storm("optimized")
+        return ref_s, opt_s, opt_counters
+
+    ref_s, opt_s, counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = ref_s / opt_s
+    print(f"\nchurn storm (2400 flows, start/abort waves):")
+    print(f"  reference engine: {ref_s * 1e3:8.1f} ms")
+    print(f"  optimized engine: {opt_s * 1e3:8.1f} ms   speedup: {speedup:.1f}x")
+    print(counters.describe())
+    # Epoch batching: each 40-flow wave coalesces into few reallocations.
+    assert counters.coalesced_mutations > counters.reallocations
+    # The optimized engine must never lose to the reference loop (the
+    # floor is conservative: shared-bottleneck churn re-rates every flow
+    # each event, so the win here is ~2x, not the dense-surge 15x+).
+    assert speedup >= 1.3, f"churn speedup {speedup:.2f}x < 1.3x"

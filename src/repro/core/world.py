@@ -19,6 +19,7 @@ from repro.pts.snowflake import Snowflake
 from repro.simnet.geo import City
 from repro.simnet.kernel import EventKernel
 from repro.simnet.network import FluidNetwork
+from repro.simnet.perfcounters import PerfCounters
 from repro.simnet.rng import substream
 from repro.simnet.session import run_process
 from repro.tor.client import TorClient
@@ -45,7 +46,8 @@ class World:
         self.config = config or WorldConfig()
         cfg = self.config
         self.kernel = EventKernel()
-        self.net = FluidNetwork(self.kernel)
+        self.perf = PerfCounters()
+        self.net = FluidNetwork(self.kernel, counters=self.perf)
         self.consensus = generate_consensus(cfg.seed, cfg.consensus)
         self.servers = ServerPool()
         self.file_server = FileServer(cfg.server_city)
@@ -87,6 +89,13 @@ class World:
     def rng(self, *names: object) -> random.Random:
         """A deterministic substream scoped to this world's seed."""
         return substream(self.config.seed, *names)
+
+    def perf_summary(self) -> dict[str, float]:
+        """Simulation-engine counters for this world (see perfcounters)."""
+        summary = self.perf.snapshot()
+        summary["events_fired"] = float(self.kernel.events_fired)
+        summary["sim_time_s"] = self.kernel.now
+        return summary
 
     # -- measurement lifecycle --------------------------------------------
 

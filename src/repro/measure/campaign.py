@@ -36,6 +36,12 @@ class CampaignRunner:
         self._measurements_run += 1
         self.world.kernel.run(until=self.world.kernel.now + gap)
 
+    def perf_summary(self) -> dict[str, float]:
+        """Engine perf counters accumulated by this runner's world."""
+        summary = self.world.perf_summary()
+        summary["measurements_run"] = float(self._measurements_run)
+        return summary
+
     def _record(self, pt_name: str, fetch: FetchResult, kind: TargetKind,
                 method: Method, repetition: int,
                 speed_index_s: Optional[float] = None) -> MeasurementRecord:

@@ -22,8 +22,19 @@ from repro.simnet.background import (
     LoadModel,
     PoissonBackground,
 )
-from repro.simnet.fairshare import compute_fair_rates, effective_bottleneck_bps
+from repro.simnet.fairshare import (
+    FairShareAllocator,
+    FlowClass,
+    compute_fair_rates,
+    compute_fair_rates_optimized,
+    compute_fair_rates_reference,
+    current_engine,
+    effective_bottleneck_bps,
+    set_engine,
+    use_engine,
+)
 from repro.simnet.flow import Flow, FlowState
+from repro.simnet.perfcounters import PerfCounters
 from repro.simnet.geo import Cities, City, Medium, base_rtt, great_circle_km
 from repro.simnet.kernel import Event, EventKernel
 from repro.simnet.latency import LatencyModel
@@ -44,12 +55,16 @@ from repro.simnet.session import (
 )
 
 __all__ = [
-    "Cities", "City", "Delay", "Event", "EventKernel", "Flow", "FlowState",
+    "Cities", "City", "Delay", "Event", "EventKernel", "FairShareAllocator",
+    "Flow", "FlowClass", "FlowState",
     "FluidNetwork", "GetTime", "LatencyModel", "LoadModel",
     "MANAGED_BRIDGE_LOAD", "Medium", "ORIGIN_SERVER_LOAD", "Outcome",
-    "Parallel", "PoissonBackground", "PRIVATE_BRIDGE_LOAD", "ProcessHandle",
-    "Resource", "Transfer", "TransferResult", "VOLUNTEER_GUARD_LOAD",
-    "VOLUNTEER_RELAY_LOAD", "base_rtt", "compute_fair_rates", "derive_seed",
+    "Parallel", "PerfCounters", "PoissonBackground", "PRIVATE_BRIDGE_LOAD",
+    "ProcessHandle", "Resource", "Transfer", "TransferResult",
+    "VOLUNTEER_GUARD_LOAD", "VOLUNTEER_RELAY_LOAD", "base_rtt",
+    "compute_fair_rates", "compute_fair_rates_optimized",
+    "compute_fair_rates_reference", "current_engine", "derive_seed",
     "effective_bottleneck_bps", "great_circle_km", "lognormal_factor",
-    "make_transfer", "run_process", "start_process", "substream",
+    "make_transfer", "run_process", "set_engine", "start_process",
+    "substream", "use_engine",
 ]

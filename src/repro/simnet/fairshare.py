@@ -12,17 +12,77 @@ resources (it models aggregate cross-traffic local to the resource).
 This is the standard fluid approximation used by flow-level network
 simulators; it is what lets a 1.25M-measurement campaign finish in
 seconds rather than simulating packets.
+
+Two engines implement the same mathematical allocation:
+
+* :func:`compute_fair_rates_reference` — the original textbook loop.
+  Every call rebuilds all per-resource state and every round re-scans
+  every resource and re-intersects its flow set with the unfrozen set,
+  so one call is O(rounds x resources x flows). Kept as the oracle for
+  property tests and benchmarks.
+* :class:`FairShareAllocator` — the production engine, owned by a
+  :class:`~repro.simnet.network.FluidNetwork`. Flows with an identical
+  ``(path, weight)`` signature are collapsed into a *flow class*
+  maintained incrementally as flows join and leave (campaigns reuse the
+  same circuit path for repetitions and background traffic, so C
+  classes is usually far smaller than F flows). Per-resource weight
+  aggregates are likewise maintained at join/leave time, and the
+  bottleneck of each water-filling round is popped from a share-ordered
+  heap with lazy invalidation instead of an O(R) scan. One reallocation
+  is O(C log R) plus the O(F) rate fan-out — no per-event rebuild.
+
+:func:`compute_fair_rates` dispatches to the engine selected with
+:func:`set_engine` / :func:`use_engine` (optimized by default). Both
+engines return the same rate vector up to float round-off: they perform
+the same freezes at the same share levels, but accumulate sums in
+different orders.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import contextlib
+import heapq
+from typing import Iterable, Iterator, Mapping, Optional
 
+from repro.errors import ConfigError
 from repro.simnet.flow import Flow
+from repro.simnet.perfcounters import PerfCounters
 from repro.simnet.resource import Resource
 
+#: Engine names accepted by :func:`set_engine`.
+ENGINES = ("optimized", "reference")
 
-def compute_fair_rates(flows: Iterable[Flow]) -> Mapping[Flow, float]:
+_engine = "optimized"
+
+
+def set_engine(name: str) -> None:
+    """Select the allocator engine used by :func:`compute_fair_rates`
+    and by every :class:`~repro.simnet.network.FluidNetwork`."""
+    global _engine
+    if name not in ENGINES:
+        raise ConfigError(f"unknown fair-share engine {name!r}; "
+                          f"known: {', '.join(ENGINES)}")
+    _engine = name
+
+
+def current_engine() -> str:
+    return _engine
+
+
+@contextlib.contextmanager
+def use_engine(name: str) -> Iterator[None]:
+    """Temporarily switch the allocator engine (tests, benchmarks)."""
+    previous = _engine
+    set_engine(name)
+    try:
+        yield
+    finally:
+        set_engine(previous)
+
+
+def compute_fair_rates(flows: Iterable[Flow], *,
+                       counters: Optional[PerfCounters] = None,
+                       ) -> Mapping[Flow, float]:
     """Return the weighted max-min fair rate (bytes/s) for each flow.
 
     Flows with an empty intersection of resources are impossible by
@@ -30,6 +90,20 @@ def compute_fair_rates(flows: Iterable[Flow]) -> Mapping[Flow, float]:
     resource participates in every round of the water-filling at its
     weight, so real flows on a busy resource get proportionally less.
     """
+    if _engine == "reference":
+        return compute_fair_rates_reference(flows, counters=counters)
+    return compute_fair_rates_optimized(flows, counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# reference engine (oracle)
+# ---------------------------------------------------------------------------
+
+
+def compute_fair_rates_reference(flows: Iterable[Flow], *,
+                                 counters: Optional[PerfCounters] = None,
+                                 ) -> Mapping[Flow, float]:
+    """The original from-scratch water-filling loop (the test oracle)."""
     flows = [f for f in flows if f.is_active]
     if not flows:
         return {}
@@ -46,6 +120,7 @@ def compute_fair_rates(flows: Iterable[Flow]) -> Mapping[Flow, float]:
 
     rates: dict[Flow, float] = {}
     unfrozen = set(flows)
+    rounds = 0
 
     while unfrozen:
         # Fair share offered by each resource that still has unfrozen
@@ -63,6 +138,7 @@ def compute_fair_rates(flows: Iterable[Flow]) -> Mapping[Flow, float]:
                 bottleneck = res
         if bottleneck is None:  # pragma: no cover - defensive
             break
+        rounds += 1
 
         # Freeze every unfrozen flow crossing the bottleneck at its
         # weighted share, and charge that rate to all its resources.
@@ -74,6 +150,251 @@ def compute_fair_rates(flows: Iterable[Flow]) -> Mapping[Flow, float]:
                 residual[res] = max(0.0, residual[res] - rate)
         unfrozen -= frozen_now
 
+    if counters is not None:
+        counters.reallocations += 1
+        counters.waterfill_rounds += rounds
+        counters.flows_allocated += len(flows)
+        counters.classes_allocated += len(flows)  # no collapsing
+    return rates
+
+
+# ---------------------------------------------------------------------------
+# optimized engine
+# ---------------------------------------------------------------------------
+
+
+class FlowClass:
+    """All active flows sharing one ``(path, weight)`` signature.
+
+    The water-filling treats the class as a single aggregate of weight
+    ``weight * len(members)``; when the class freezes, the per-flow rate
+    (identical for every member) is fanned back out.
+    """
+
+    __slots__ = ("key", "weight", "members", "res_mults", "frozen_epoch",
+                 "rate")
+
+    def __init__(self, key: tuple, weight: float,
+                 res_mults: list[tuple[int, int]]) -> None:
+        self.key = key
+        self.weight = weight
+        self.members: set[Flow] = set()
+        # (rid, multiplicity in path): the denominator counts a flow's
+        # weight once per resource, but the residual is charged once per
+        # path *occurrence*, exactly like the reference engine.
+        self.res_mults = res_mults
+        self.frozen_epoch = -1
+        self.rate = 0.0
+
+
+class FairShareAllocator:
+    """Incremental water-filling over collapsed flow classes.
+
+    Membership mutations (:meth:`add_flow` / :meth:`remove_flow`) keep
+    the class registry and per-resource weight totals current, so
+    :meth:`allocate` never rebuilds state from the flow population. All
+    internal maps are keyed by integer resource ids to stay off the
+    Python-level ``Resource.__hash__``.
+    """
+
+    __slots__ = ("_classes", "_class_of", "_resources", "_total_weight",
+                 "_classes_at", "_epoch", "_n_flows")
+
+    def __init__(self) -> None:
+        self._classes: dict[tuple, FlowClass] = {}
+        self._class_of: dict[Flow, FlowClass] = {}
+        self._resources: dict[int, Resource] = {}
+        self._total_weight: dict[int, float] = {}
+        # Insertion-ordered "set" of classes per resource (dict keys),
+        # so freeze order inside a round is deterministic run-to-run.
+        self._classes_at: dict[int, dict[FlowClass, None]] = {}
+        self._epoch = 0
+        self._n_flows = 0
+
+    def __len__(self) -> int:
+        return self._n_flows
+
+    @property
+    def n_classes(self) -> int:
+        return len(self._classes)
+
+    # -- membership -----------------------------------------------------
+
+    def add_flow(self, flow: Flow) -> None:
+        """Register an active flow (O(path) amortized)."""
+        path = flow.path
+        if len(path) == 1:  # single-hop signature: skip the tuple build
+            key = (path[0].rid, flow.weight)
+        else:
+            key = (tuple([res.rid for res in path]), flow.weight)
+        cls = self._classes.get(key)
+        if cls is None:
+            mults: dict[int, int] = {}
+            for res in flow.path:
+                rid = res.rid
+                mults[rid] = mults.get(rid, 0) + 1
+                if rid not in self._resources:
+                    self._resources[rid] = res
+                    self._total_weight[rid] = 0.0
+                    self._classes_at[rid] = {}
+            cls = self._classes[key] = FlowClass(key, flow.weight,
+                                                list(mults.items()))
+            for rid, _mult in cls.res_mults:
+                self._classes_at[rid][cls] = None
+        cls.members.add(flow)
+        self._class_of[flow] = cls
+        self._n_flows += 1
+        weight = cls.weight
+        for rid, _mult in cls.res_mults:
+            self._total_weight[rid] += weight
+
+    def remove_flow(self, flow: Flow) -> None:
+        """Deregister a flow previously added (O(path) amortized)."""
+        cls = self._class_of.pop(flow, None)
+        if cls is None:
+            return
+        cls.members.discard(flow)
+        self._n_flows -= 1
+        weight = cls.weight
+        for rid, _mult in cls.res_mults:
+            self._total_weight[rid] -= weight
+        if not cls.members:
+            del self._classes[cls.key]
+            for rid, _mult in cls.res_mults:
+                at = self._classes_at[rid]
+                del at[cls]
+                if not at:
+                    # Last class gone: drop the resource entirely, which
+                    # also resets any accumulated float residue to zero.
+                    del self._classes_at[rid]
+                    del self._resources[rid]
+                    del self._total_weight[rid]
+
+    # -- allocation -----------------------------------------------------
+
+    def allocate(self, counters: Optional[PerfCounters] = None,
+                 ) -> Iterable[FlowClass]:
+        """Run one water-filling pass; returns the classes with their
+        per-member ``rate`` set. O(C log R) plus heap bookkeeping."""
+        self._epoch += 1
+        epoch = self._epoch
+        classes = self._classes
+        if not classes:
+            return ()
+
+        # Fast paths for the two dominant small shapes. One class (a
+        # campaign's lone foreground transfer): its bottleneck is just
+        # the min share across its path. One resource (ablation-style
+        # single-pipe churn): every class freezes in round one.
+        if len(classes) == 1:
+            (cls,) = classes.values()
+            share = float("inf")
+            for rid, _mult in cls.res_mults:
+                res = self._resources[rid]
+                s = res.capacity_bps / (self._total_weight[rid]
+                                        + res.background_load)
+                if s < share:
+                    share = s
+            cls.rate = share * cls.weight
+            cls.frozen_epoch = epoch
+            if counters is not None:
+                counters.reallocations += 1
+                counters.waterfill_rounds += 1
+                counters.flows_allocated += self._n_flows
+                counters.classes_allocated += 1
+            return classes.values()
+        if len(self._resources) == 1:
+            (rid, res), = self._resources.items()
+            share = res.capacity_bps / (self._total_weight[rid]
+                                        + res.background_load)
+            for cls in classes.values():
+                cls.rate = share * cls.weight
+                cls.frozen_epoch = epoch
+            if counters is not None:
+                counters.reallocations += 1
+                counters.waterfill_rounds += 1
+                counters.flows_allocated += self._n_flows
+                counters.classes_allocated += len(classes)
+            return classes.values()
+
+        residual: dict[int, float] = {}
+        live_weight: dict[int, float] = {}
+        live_count: dict[int, int] = {}
+        heap: list[tuple[float, int]] = []
+        latest: dict[int, float] = {}
+        resources = self._resources
+        classes_at = self._classes_at
+        for rid, res in resources.items():
+            cap = res.capacity_bps
+            weight = self._total_weight[rid]
+            residual[rid] = cap
+            live_weight[rid] = weight
+            live_count[rid] = len(classes_at[rid])
+            share = cap / (weight + res.background_load)
+            latest[rid] = share
+            heap.append((share, rid))
+        heapq.heapify(heap)
+
+        unfrozen = len(classes)
+        rounds = 0
+
+        while unfrozen and heap:
+            share, rid = heapq.heappop(heap)
+            if latest.get(rid) != share or live_count[rid] == 0:
+                continue  # stale entry or exhausted resource
+            del latest[rid]
+            rounds += 1
+
+            touched: dict[int, None] = {}
+            for cls in classes_at[rid]:
+                if cls.frozen_epoch == epoch:
+                    continue
+                cls.frozen_epoch = epoch
+                rate = share * cls.weight
+                cls.rate = rate
+                unfrozen -= 1
+                n = len(cls.members)
+                agg_weight = cls.weight * n
+                agg_rate = rate * n
+                for rid2, mult in cls.res_mults:
+                    residual[rid2] = max(0.0, residual[rid2] - agg_rate * mult)
+                    live_weight[rid2] = max(0.0, live_weight[rid2] - agg_weight)
+                    live_count[rid2] -= 1
+                    if rid2 != rid:
+                        touched[rid2] = None
+
+            for rid2 in touched:
+                if live_count[rid2] == 0:
+                    latest.pop(rid2, None)
+                    continue
+                fresh = residual[rid2] / (
+                    live_weight[rid2] + resources[rid2].background_load)
+                latest[rid2] = fresh
+                heapq.heappush(heap, (fresh, rid2))
+
+        if counters is not None:
+            counters.reallocations += 1
+            counters.waterfill_rounds += rounds
+            counters.flows_allocated += self._n_flows
+            counters.classes_allocated += len(classes)
+        return classes.values()
+
+
+def compute_fair_rates_optimized(flows: Iterable[Flow], *,
+                                 counters: Optional[PerfCounters] = None,
+                                 ) -> Mapping[Flow, float]:
+    """One-shot wrapper over :class:`FairShareAllocator` (stateless API
+    parity with the reference engine; the network keeps a persistent
+    allocator instead of paying this per-call build)."""
+    allocator = FairShareAllocator()
+    for flow in flows:
+        if flow.is_active:
+            allocator.add_flow(flow)
+    rates: dict[Flow, float] = {}
+    for cls in allocator.allocate(counters):
+        rate = cls.rate
+        for flow in cls.members:
+            rates[flow] = rate
     return rates
 
 

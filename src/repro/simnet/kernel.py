@@ -22,18 +22,25 @@ class Event:
     skipped when popped (lazy deletion).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "kernel")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 kernel: "EventKernel | None" = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.kernel = kernel
 
     def cancel(self) -> None:
         """Mark the event so it will not fire."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.kernel is not None:
+            self.kernel._live -= 1
+            self.kernel = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -63,6 +70,12 @@ class EventKernel:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self._live = 0  # non-cancelled queued events (O(1) `pending`)
+        self._post_hooks: list[Callable[[], None]] = []
+        # True while an event callback executes; read directly (not via a
+        # property, it sits on the per-mutation hot path) by FluidNetwork
+        # to decide whether a fallback drain event is needed.
+        self._in_step = False
 
     # -- scheduling ---------------------------------------------------
 
@@ -76,9 +89,19 @@ class EventKernel:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule event at {time} before now={self.now}")
-        event = Event(time, next(self._seq), callback, args)
+        event = Event(time, next(self._seq), callback, args, kernel=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def add_post_event_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` after every fired event's callback returns.
+
+        Used by :class:`~repro.simnet.network.FluidNetwork` to drain
+        coalesced reallocation requests at event boundaries without
+        scheduling extra same-instant events.
+        """
+        self._post_hooks.append(hook)
 
     # -- execution ----------------------------------------------------
 
@@ -92,7 +115,15 @@ class EventKernel:
                 raise SimulationError("event heap yielded an event from the past")
             self.now = event.time
             self._events_fired += 1
-            event.callback(*event.args)
+            self._live -= 1
+            event.kernel = None  # a late cancel() must not re-decrement
+            self._in_step = True
+            try:
+                event.callback(*event.args)
+                for hook in self._post_hooks:
+                    hook()
+            finally:
+                self._in_step = False
             return True
         return False
 
@@ -125,8 +156,8 @@ class EventKernel:
 
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def events_fired(self) -> int:

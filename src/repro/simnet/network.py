@@ -2,34 +2,71 @@
 
 ``FluidNetwork`` owns the set of active flows. Whenever the set changes
 (a flow starts, completes, or aborts) or a resource's background load is
-changed, rates are recomputed with weighted max-min fairness and the
-next completion event is rescheduled. Between recomputations every flow
-progresses linearly at its assigned rate, so progress accounting is
-exact.
+changed, the network is marked *dirty* and a drain event is scheduled at
+the current instant. All same-instant mutations therefore coalesce into
+one fair-share recomputation (epoch batching) — a surge tick that starts
+hundreds of background flows pays for a single water-filling instead of
+one per flow. Between recomputations every flow progresses linearly at
+its assigned rate, so progress accounting stays exact: no simulated time
+can pass between a mutation and its same-instant drain.
+
+Completion scheduling is incremental as well: each flow's projected
+completion time is pushed into a lazy min-ETA heap when its rate is
+assigned. A flow's absolute ETA only changes when its *rate* changes, so
+a reallocation that leaves most rates untouched (disjoint paths, the
+common campaign case) does no per-flow rescan.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+import operator
 from typing import Callable, Iterable, Optional
 
 from repro.errors import SimulationError
-from repro.simnet.fairshare import compute_fair_rates
+from repro.simnet.fairshare import (
+    FairShareAllocator,
+    compute_fair_rates_reference,
+    current_engine,
+)
 from repro.simnet.flow import Flow, FlowState
 from repro.simnet.kernel import Event, EventKernel
+from repro.simnet.perfcounters import PerfCounters
 from repro.simnet.resource import Resource
 
 _EPSILON_BYTES = 1e-6  # float-tolerance for "transfer finished"
+
+_INF = float("inf")
+_flow_fid = operator.attrgetter("fid")
 
 
 class FluidNetwork:
     """Flow-level network simulator bound to an :class:`EventKernel`."""
 
-    def __init__(self, kernel: EventKernel) -> None:
+    def __init__(self, kernel: EventKernel,
+                 counters: Optional[PerfCounters] = None) -> None:
         self.kernel = kernel
+        self.counters = counters if counters is not None else PerfCounters()
+        self._allocator = FairShareAllocator()
         self._flows: set[Flow] = set()
         self._last_update = kernel.now
         self._completion_event: Optional[Event] = None
+        self._dirty = False
+        self._drain_event: Optional[Event] = None
+        # `_eta_of` (flow -> projected absolute completion time) is the
+        # source of truth. `_eta_heap` is a lazy accelerator over it:
+        # (eta, fid, flow) entries with stale ones skipped on pop. A
+        # mass rate change just marks the heap stale (O(1)); it is only
+        # rebuilt when the population is large enough for a heap to beat
+        # a direct min() scan.
+        self._eta_heap: list[tuple[float, int, Flow]] = []
+        self._eta_heap_stale = False
+        self._eta_of: dict[Flow, float] = {}
+        # Drain coalesced mutations at event boundaries with no extra
+        # same-instant events; the scheduled drain is only the fallback
+        # for mutations made outside the event loop.
+        kernel.add_post_event_hook(self._drain_if_dirty)
 
     # -- public API ----------------------------------------------------
 
@@ -40,7 +77,8 @@ class FluidNetwork:
         """Begin a transfer and return its :class:`Flow` handle.
 
         Zero-byte flows complete immediately (their callback fires from
-        within this call).
+        within this call). Rates for the new epoch are assigned by the
+        same-instant drain event, before any simulated time passes.
         """
         flow = Flow(tuple(path), size_bytes, weight=weight,
                     on_complete=on_complete, on_abort=on_abort)
@@ -50,7 +88,8 @@ class FluidNetwork:
             return flow
         self._advance_progress()
         self._flows.add(flow)
-        self._reallocate()
+        self._allocator.add_flow(flow)
+        self._mark_dirty()
         return flow
 
     def abort_flow(self, flow: Flow, reason: str = "aborted") -> None:
@@ -58,19 +97,22 @@ class FluidNetwork:
         if not flow.is_active:
             return
         self._advance_progress()
-        self._flows.discard(flow)
+        self._remove_flow(flow)
         flow.state = FlowState.ABORTED
         flow.abort_reason = reason
         flow.finished_at = self.kernel.now
         flow.rate_bps = 0.0
-        self._reallocate()
+        self._mark_dirty()
         if flow.on_abort is not None:
             flow.on_abort(flow)
 
     def notify_load_changed(self) -> None:
         """Re-run the allocation after a background-load change."""
+        if not self._flows:
+            self.counters.noop_skips += 1
+            return  # nothing shares the changed resource: no-op
         self._advance_progress()
-        self._reallocate()
+        self._mark_dirty()
 
     @property
     def active_flows(self) -> frozenset[Flow]:
@@ -86,53 +128,194 @@ class FluidNetwork:
             raise SimulationError("time went backwards in FluidNetwork")
         if dt > 0:
             for flow in self._flows:
-                flow.remaining = max(0.0, flow.remaining - flow.rate_bps * dt)
+                remaining = flow.remaining - flow.rate_bps * dt
+                flow.remaining = remaining if remaining > 0.0 else 0.0
         self._last_update = now
+
+    def _mark_dirty(self) -> None:
+        """Request a reallocation; same-event requests coalesce."""
+        if self._dirty:
+            self.counters.coalesced_mutations += 1
+        else:
+            self._dirty = True
+        # Arm the fallback drain independently of the dirty flag: if an
+        # earlier event callback raised after marking dirty (skipping
+        # its post-event hook), the next top-level mutation still gets
+        # a same-instant drain instead of inheriting a stranded flag.
+        if not self.kernel._in_step and self._drain_event is None:
+            self._drain_event = self.kernel.schedule(0.0, self._drain)
+
+    def _drain_if_dirty(self) -> None:
+        """Post-event hook: apply any reallocation this event requested.
+
+        Every mutation advances progress before marking dirty and the
+        drain runs at the same instant, so no extra progress credit is
+        needed here.
+        """
+        if self._dirty:
+            self._dirty = False
+            if self._drain_event is not None:
+                # An outside-the-loop mutation armed the fallback drain;
+                # this hook got there first, so retire the event instead
+                # of letting it fire as a no-op.
+                self._drain_event.cancel()
+                self._drain_event = None
+            self._reallocate()
+
+    def _drain(self) -> None:
+        self._drain_event = None
+        self._drain_if_dirty()
+
+    def _remove_flow(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        self._allocator.remove_flow(flow)
+        self._eta_of.pop(flow, None)
 
     def _reallocate(self) -> None:
         """Recompute fair rates and schedule the next completion."""
-        rates = compute_fair_rates(self._flows)
-        for flow in self._flows:
-            flow.rate_bps = rates.get(flow, 0.0)
+        if not self._flows:
+            # No-op guard: nothing to allocate or to complete.
+            self.counters.noop_skips += 1
+            if self._completion_event is not None:
+                self._completion_event.cancel()
+                self._completion_event = None
+            return
+        now = self.kernel.now
+        eta_of = self._eta_of
+        changed: list[Flow] = []
+        if current_engine() == "reference":
+            rates = compute_fair_rates_reference(self._flows,
+                                                 counters=self.counters)
+            for flow in self._flows:
+                new_rate = rates.get(flow, 0.0)
+                if new_rate != flow.rate_bps or flow not in eta_of:
+                    flow.rate_bps = new_rate
+                    changed.append(flow)
+        else:
+            for cls in self._allocator.allocate(self.counters):
+                rate = cls.rate
+                for flow in cls.members:
+                    if rate != flow.rate_bps or flow not in eta_of:
+                        flow.rate_bps = rate
+                        changed.append(flow)
+        if changed:
+            self.counters.eta_refreshes += len(changed)
+            # `_eta_of` never stores inf (same invariant as _set_eta):
+            # a stalled flow simply has no projected completion.
+            if self._eta_heap_stale or 2 * len(changed) >= len(self._flows):
+                # Most rates moved (shared-bottleneck epoch) or the
+                # heap is already invalid: update the dict and leave the
+                # heap stale instead of paying F pushes.
+                self._eta_heap_stale = True
+                for flow in changed:
+                    eta = flow.eta(now)
+                    if eta != _INF:
+                        eta_of[flow] = eta
+                    else:
+                        eta_of.pop(flow, None)
+            else:
+                for flow in changed:
+                    eta = flow.eta(now)
+                    if eta != _INF:
+                        eta_of[flow] = eta
+                        heapq.heappush(self._eta_heap,
+                                       (eta, flow.fid, flow))
+                    else:
+                        eta_of.pop(flow, None)
         self._schedule_next_completion()
 
+    # -- completion scheduling ------------------------------------------
+
+    def _set_eta(self, flow: Flow, eta: float) -> None:
+        """Record a flow's projected absolute completion time."""
+        if eta == float("inf"):
+            self._eta_of.pop(flow, None)
+            return
+        self._eta_of[flow] = eta
+        heapq.heappush(self._eta_heap, (eta, flow.fid, flow))
+        self.counters.eta_refreshes += 1
+
+    def _next_eta(self) -> float:
+        """Earliest live ETA (inf if none)."""
+        eta_of = self._eta_of
+        if self._eta_heap_stale:
+            if len(eta_of) <= 16:
+                # Tiny population: a direct scan beats heap upkeep.
+                return min(eta_of.values(), default=float("inf"))
+            self._compact_eta_heap()
+        heap = self._eta_heap
+        while heap:
+            eta, _fid, flow = heap[0]
+            if eta_of.get(flow) == eta:
+                return eta
+            heapq.heappop(heap)
+        return float("inf")
+
+    def _compact_eta_heap(self) -> None:
+        """Rebuild the heap from the source-of-truth dict."""
+        self._eta_heap = [(eta, flow.fid, flow)
+                          for flow, eta in self._eta_of.items()]
+        heapq.heapify(self._eta_heap)
+        self._eta_heap_stale = False
+        self.counters.eta_heap_compactions += 1
+
     def _schedule_next_completion(self) -> None:
+        if not self._eta_heap_stale and len(self._eta_heap) > 64 and \
+                len(self._eta_heap) > 4 * len(self._eta_of):
+            self._compact_eta_heap()
+        next_eta = self._next_eta()
+        if next_eta == float("inf"):
+            if self._completion_event is not None:
+                self._completion_event.cancel()
+                self._completion_event = None
+            return
+        target = max(next_eta, self.kernel.now)
+        if (self._completion_event is not None
+                and not self._completion_event.cancelled
+                and self._completion_event.time == target):
+            return  # already armed for exactly this instant
         if self._completion_event is not None:
             self._completion_event.cancel()
-            self._completion_event = None
-        now = self.kernel.now
-        next_eta = float("inf")
-        for flow in self._flows:
-            eta = flow.eta(now)
-            if eta < next_eta:
-                next_eta = eta
-        if next_eta == float("inf"):
-            return
-        delay = max(0.0, next_eta - now)
-        self._completion_event = self.kernel.schedule(delay, self._on_completion_tick)
-
-    def _finished(self, flow: Flow) -> bool:
-        """Whether a flow is done within numeric tolerance.
-
-        Besides the byte epsilon, a flow whose remaining transfer time
-        is below the float resolution of the current simulation time can
-        never make further progress (``now + dt == now``), so it is
-        complete by definition — without this, a completion event can
-        refire at the same timestamp forever.
-        """
-        if flow.remaining <= _EPSILON_BYTES:
-            return True
-        min_dt = 8.0 * math.ulp(max(1.0, self.kernel.now))
-        return flow.remaining <= flow.rate_bps * min_dt
+        self._completion_event = self.kernel.schedule_at(
+            target, self._on_completion_tick)
+        self.counters.completion_reschedules += 1
 
     def _on_completion_tick(self) -> None:
-        """Complete every flow that has (numerically) finished."""
+        """Complete every flow that has (numerically) finished.
+
+        A flow is done within numeric tolerance: besides the byte
+        epsilon, a flow whose remaining transfer time is below the float
+        resolution of the current simulation time can never make further
+        progress (``now + dt == now``), so it is complete by definition —
+        without this, a completion event can refire at the same
+        timestamp forever.
+        """
         self._completion_event = None
         self._advance_progress()
-        done = [f for f in self._flows if self._finished(f)]
+        now = self.kernel.now
+        min_dt = 8.0 * math.ulp(now if now > 1.0 else 1.0)
+        done = [f for f in self._flows
+                if f.remaining <= _EPSILON_BYTES
+                or f.remaining <= f.rate_bps * min_dt]
+        if len(done) > 1:
+            # Flow sets hash by identity, so set order varies between
+            # processes; callbacks must fire in a run-stable order.
+            done.sort(key=_flow_fid)
+        if not done:
+            # The armed ETA was stale by a few ulps (it is stored at
+            # rate-assignment time, not recomputed per event). Refresh
+            # every at-or-past-due entry from live state; `flow.eta(now)`
+            # is strictly in the future for an unfinished flow, so this
+            # cannot refire forever at one timestamp.
+            for flow in self._flows:
+                eta = self._eta_of.get(flow)
+                if eta is not None and eta <= now:
+                    self._set_eta(flow, flow.eta(now))
+            self._schedule_next_completion()
+            return
         for flow in done:
-            self._flows.discard(flow)
-        self._reallocate()
+            self._remove_flow(flow)
+        self._mark_dirty()
         for flow in done:
             self._finish(flow)
 

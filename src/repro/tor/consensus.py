@@ -10,7 +10,9 @@ subset of relays, and bandwidths are heavy-tailed.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 
 from repro.errors import ConfigError
 from repro.simnet.background import (
@@ -45,6 +47,12 @@ class Consensus:
             raise ConfigError("consensus must contain at least one relay")
         self.relays = relays
         self._by_fingerprint = {r.fingerprint: r for r in relays}
+        # Flag-filtered candidate/weight lists are immutable after
+        # construction (flags never change post-consensus), and path
+        # selection draws from them once per hop per measurement — cache
+        # them instead of re-filtering all relays through enum ops.
+        self._flag_cache: dict[
+            Flag, tuple[list[Relay], list[float], list[float]]] = {}
 
     # -- lookup --------------------------------------------------------
 
@@ -58,7 +66,23 @@ class Consensus:
             raise ConfigError(f"no relay with fingerprint {fingerprint!r}") from None
 
     def with_flag(self, flag: Flag) -> list[Relay]:
+        # Unchanged semantics: Flag.NONE matches nothing here (sample()
+        # is the one that treats NONE as "any relay").
         return [r for r in self.relays if r.has_flag(flag)]
+
+    def _flag_lists(self, flag: Flag
+                    ) -> tuple[list[Relay], list[float], list[float]]:
+        cached = self._flag_cache.get(flag)
+        if cached is None:
+            candidates = [r for r in self.relays
+                          if flag is Flag.NONE or r.has_flag(flag)]
+            weights = [r.bandwidth_bps for r in candidates]
+            # Cumulative weights share weighted_choice's left-to-right
+            # summation, so a bisect draw picks the identical relay for
+            # the identical rng.random() value.
+            cum = list(accumulate(weights))
+            cached = self._flag_cache[flag] = (candidates, weights, cum)
+        return cached
 
     def guards(self) -> list[Relay]:
         return self.with_flag(Flag.GUARD)
@@ -76,13 +100,19 @@ class Consensus:
         relay's selection probability is proportional to its consensus
         bandwidth.
         """
-        candidates = [r for r in self.relays
-                      if (flag is Flag.NONE or r.has_flag(flag))
-                      and r.fingerprint not in exclude]
+        candidates, weights, cum = self._flag_lists(flag)
+        if exclude:
+            keep = [i for i, r in enumerate(candidates)
+                    if r.fingerprint not in exclude]
+            candidates = [candidates[i] for i in keep]
+            weights = [weights[i] for i in keep]
+            if not candidates:
+                raise ConfigError(f"no relay candidates for flag={flag}")
+            return weighted_choice(rng, candidates, weights)
         if not candidates:
             raise ConfigError(f"no relay candidates for flag={flag}")
-        weights = [r.bandwidth_bps for r in candidates]
-        return weighted_choice(rng, candidates, weights)
+        index = bisect_right(cum, rng.random() * cum[-1])
+        return candidates[index if index < len(candidates) else -1]
 
     def resample_all_loads(self, rng: random.Random) -> None:
         """Refresh every relay's background load (new measurement epoch)."""
