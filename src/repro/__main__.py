@@ -4,13 +4,15 @@ Subcommands:
 
 * ``list`` — show every reproducible table/figure;
 * ``run <experiment-id> [...]`` — regenerate experiments and print the
-  paper-vs-measured comparison;
+  paper-vs-measured comparison; ``--seeds``/``--workers`` replicate
+  each experiment over several seeds in parallel worker processes;
 * ``compare <pt> [<pt> ...]`` — quick website-access comparison.
 
 Examples::
 
     python -m repro list
     python -m repro run fig2a fig5 --seed 7 --scale small
+    python -m repro run fig2a --seeds 1 2 3 4 --workers 4
     python -m repro compare tor obfs4 meek --sites 30
 """
 
@@ -20,7 +22,13 @@ import argparse
 import sys
 
 from repro.core.config import Scale
-from repro.core.experiments import EXPERIMENTS, list_experiments
+from repro.core.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    mean_seed_metrics,
+    run_experiment_seeds,
+)
 from repro.core.ptperf import PTPerf
 
 _SCALES = {"tiny": Scale.tiny, "small": Scale.small, "paper": Scale.paper}
@@ -34,15 +42,38 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_multi_seed(eid: str, seeds: list[int], workers: int,
+                    scale: Scale) -> None:
+    results = run_experiment_seeds(eid, seeds, scale=scale, workers=workers)
+    for seed, result in zip(seeds, results):
+        print(f"\n-- seed {seed} --")
+        print(result.comparison())
+    mean = ExperimentResult(
+        experiment_id=eid, title=results[0].title, text="",
+        metrics=mean_seed_metrics(results), paper=results[0].paper)
+    print(f"\npaper vs mean over seeds {seeds} ({workers} worker(s)):")
+    print(mean.comparison())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     unknown = [eid for eid in args.experiments if eid not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    perf = PTPerf(seed=args.seed, scale=_SCALES[args.scale]())
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]()
+    perf = PTPerf(seed=args.seed, scale=scale)
     experiments = args.experiments or list(EXPERIMENTS)
     for eid in experiments:
+        if args.seeds:
+            header = (f"{eid}: {EXPERIMENTS[eid].title} "
+                      f"({EXPERIMENTS[eid].paper_ref})")
+            print(f"\n{header}\n{'=' * len(header)}")
+            _run_multi_seed(eid, args.seeds, args.workers, scale)
+            continue
         result = perf.run(eid)
         header = f"{eid}: {result.title} ({EXPERIMENTS[eid].paper_ref})"
         print(f"\n{header}\n{'=' * len(header)}")
@@ -76,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (default: all)")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    run.add_argument("--seeds", type=int, nargs="+", default=None,
+                     metavar="SEED",
+                     help="replicate each experiment over these seeds "
+                          "(overrides --seed) and report per-seed plus "
+                          "mean-over-seeds comparisons")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for --seeds fan-out "
+                          "(1 = in-process, deterministic serial order)")
 
     compare = sub.add_parser("compare", help="quick PT comparison")
     compare.add_argument("pts", nargs="+", help="transport names")

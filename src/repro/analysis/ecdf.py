@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -45,17 +46,22 @@ class ECDF:
         """Smallest sample value with CDF >= q."""
         if not 0.0 < q <= 1.0:
             raise ValueError("quantile must be in (0, 1]")
-        import math
         index = max(0, math.ceil(q * len(self.xs)) - 1)
         return self.xs[index]
 
     def series(self, points: int = 50) -> list[tuple[float, float]]:
-        """Downsampled (x, p) pairs for compact textual plots."""
+        """Downsampled (x, p) pairs for compact textual plots.
+
+        Both endpoints are always included, so the series starts at the
+        minimum sample (the true support) and ends at the maximum.
+        """
         if self.n <= points:
             return list(zip(self.xs, self.ps))
-        step = self.n / points
+        if points == 1:
+            return [(self.xs[-1], self.ps[-1])]
+        step = (self.n - 1) / (points - 1)
         out = []
         for i in range(points):
-            idx = min(self.n - 1, int(round((i + 1) * step)) - 1)
+            idx = round(i * step)
             out.append((self.xs[idx], self.ps[idx]))
         return out

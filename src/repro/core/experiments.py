@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.analysis.aggregate import (
     box_by_pt,
@@ -105,6 +105,44 @@ def run_experiment(experiment_id: str, *, seed: int = 1,
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; known: {known}") from None
     return definition.fn(seed, scale or Scale.small())
+
+
+def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,
+                         scale: Optional[Scale] = None,
+                         workers: int = 1) -> list[ExperimentResult]:
+    """Run one experiment at several seeds, fanned across workers.
+
+    Each seed is an independent world, so the replication routes
+    through :class:`~repro.measure.parallel.ParallelCampaign`. The
+    returned list is aligned with the given ``seeds`` order regardless
+    of worker completion order (the outcome itself merges sorted by
+    seed).
+    """
+    from repro.measure.parallel import CampaignSpec, ParallelCampaign
+
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: {known}")
+    seeds = list(seeds)
+    spec = CampaignSpec(seeds=tuple(seeds), experiment_id=experiment_id,
+                        scale=scale or Scale.small())
+    outcome = ParallelCampaign(spec, workers=workers).run()
+    by_seed = {unit.seed: unit.to_experiment_result()
+               for unit in outcome.units}
+    return [by_seed[seed] for seed in seeds]
+
+
+def mean_seed_metrics(results: Iterable[ExperimentResult]) -> dict[str, float]:
+    """Per-key mean of the metrics shared by every seed's result."""
+    results = list(results)
+    if not results:
+        return {}
+    keys = set(results[0].metrics)
+    for result in results[1:]:
+        keys &= set(result.metrics)
+    return {key: statistics.fmean(r.metrics[key] for r in results)
+            for key in sorted(keys)}
 
 
 # ---------------------------------------------------------------------------
@@ -640,7 +678,8 @@ def _fig7(seed: int, scale: Scale) -> ExperimentResult:
     config = WorldConfig(seed=seed, transports=("tor",) + pts,
                          tranco_size=max(scale.n_sites // 2, 2), cbl_size=2)
     cells = location_matrix(config, pts, n_sites=max(scale.n_sites // 2, 2),
-                            repetitions=max(scale.site_repetitions, 1))
+                            repetitions=max(scale.site_repetitions, 1),
+                            pacing=_FAST_PACING)
     rows = []
     metrics = {}
     for pt in pts:

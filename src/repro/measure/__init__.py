@@ -14,6 +14,15 @@ from repro.measure.monitoring import (
     ProbeSample,
     iran_protest_schedule,
 )
+from repro.measure.parallel import (
+    CampaignOutcome,
+    CampaignSpec,
+    CellSpec,
+    ParallelCampaign,
+    UnitResult,
+    WorkUnit,
+    matrix_cells,
+)
 from repro.measure.records import (
     MeasurementRecord,
     Method,
@@ -31,11 +40,13 @@ from repro.measure.surge import (
 )
 
 __all__ = [
-    "Anomaly", "CampaignRunner", "DEFAULT_PACING", "LocationCell",
-    "LongTermMonitor", "MeasurementRecord", "Method", "OVERLOAD_PACING",
+    "Anomaly", "CampaignOutcome", "CampaignRunner", "CampaignSpec",
+    "CellSpec", "DEFAULT_PACING", "LocationCell", "LongTermMonitor",
+    "MeasurementRecord", "Method", "OVERLOAD_PACING",
     "POST_SEPTEMBER_MONTHS", "PRE_SEPTEMBER_MONTHS", "PacingPolicy",
-    "ProbeSample", "ResultSet", "SNOWFLAKE_USER_TIMELINE", "SurgePoint",
-    "TargetKind", "iran_protest_schedule", "location_matrix",
+    "ParallelCampaign", "ProbeSample", "ResultSet",
+    "SNOWFLAKE_USER_TIMELINE", "SurgePoint", "TargetKind", "UnitResult",
+    "WorkUnit", "iran_protest_schedule", "location_matrix", "matrix_cells",
     "mean_by_client", "ordering_by_cell", "post_september_level",
     "pre_september_level", "surge_level_for",
 ]

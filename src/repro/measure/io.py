@@ -16,12 +16,24 @@ from typing import Iterable
 from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
 from repro.web.types import Status
 
-#: Stable column order for CSV export.
+#: Stable column order for CSV export. ``sim_time_s`` and ``meta`` sit
+#: last so files written before they existed still parse (missing
+#: trailing columns fall back to the record defaults on read).
 _COLUMNS = (
     "pt", "category", "target", "kind", "method", "client", "server",
     "medium", "duration_s", "ttfb_s", "speed_index_s", "status",
-    "bytes_expected", "bytes_received", "repetition",
+    "bytes_expected", "bytes_received", "repetition", "sim_time_s", "meta",
 )
+
+
+def _meta_from_value(value) -> dict:
+    """Decode the ``meta`` cell: a dict (JSON/in-memory rows) or the
+    JSON string CSV stores it as; old files without the column give {}."""
+    if value in (None, ""):
+        return {}
+    if isinstance(value, str):
+        return json.loads(value)
+    return dict(value)
 
 
 def _record_from_row(row: dict) -> MeasurementRecord:
@@ -45,8 +57,19 @@ def _record_from_row(row: dict) -> MeasurementRecord:
         bytes_received=float(row["bytes_received"]),
         ttfb_s=opt_float(row.get("ttfb_s")),
         speed_index_s=opt_float(row.get("speed_index_s")),
+        sim_time_s=float(row.get("sim_time_s") or 0.0),
         repetition=int(float(row.get("repetition", 0) or 0)),
+        meta=_meta_from_value(row.get("meta")),
     )
+
+
+def rows_to_result_set(rows: Iterable[dict]) -> ResultSet:
+    """Rebuild a result set from :meth:`ResultSet.to_rows` output.
+
+    This is the wire format parallel campaign workers use to ship
+    results back to the parent process, so it must restore every field.
+    """
+    return ResultSet(_record_from_row(row) for row in rows)
 
 
 def write_csv(results: ResultSet, path: str | Path) -> Path:
@@ -56,7 +79,10 @@ def write_csv(results: ResultSet, path: str | Path) -> Path:
         writer = csv.DictWriter(handle, fieldnames=_COLUMNS)
         writer.writeheader()
         for row in results.to_rows():
-            writer.writerow({col: row.get(col) for col in _COLUMNS})
+            out = {col: row.get(col) for col in _COLUMNS}
+            out["meta"] = json.dumps(row["meta"], sort_keys=True) \
+                if row.get("meta") else ""
+            writer.writerow(out)
     return path
 
 
@@ -64,7 +90,7 @@ def read_csv(path: str | Path) -> ResultSet:
     """Load a result set previously written by :func:`write_csv`."""
     path = Path(path)
     with path.open(newline="") as handle:
-        return ResultSet(_record_from_row(row) for row in csv.DictReader(handle))
+        return rows_to_result_set(csv.DictReader(handle))
 
 
 def write_json(results: ResultSet, path: str | Path, *,
@@ -77,8 +103,7 @@ def write_json(results: ResultSet, path: str | Path, *,
 
 def read_json(path: str | Path) -> ResultSet:
     """Load a result set previously written by :func:`write_json`."""
-    rows = json.loads(Path(path).read_text())
-    return ResultSet(_record_from_row(row) for row in rows)
+    return rows_to_result_set(json.loads(Path(path).read_text()))
 
 
 def merge(result_sets: Iterable[ResultSet]) -> ResultSet:

@@ -10,12 +10,12 @@ concentrate in Europe/North America).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.core.config import WorldConfig
-from repro.core.world import World
-from repro.measure.campaign import CampaignRunner
+from repro.measure.ethics import DEFAULT_PACING, PacingPolicy
+from repro.measure.parallel import CampaignSpec, ParallelCampaign, matrix_cells
 from repro.measure.records import Method, ResultSet
 from repro.simnet.geo import Cities, City
 
@@ -32,24 +32,32 @@ class LocationCell:
 def location_matrix(base_config: WorldConfig, pt_names: Iterable[str], *,
                     n_sites: int = 30, repetitions: int = 2,
                     clients: list[City] | None = None,
-                    servers: list[City] | None = None) -> list[LocationCell]:
-    """Run the website campaign for every client/server combination."""
+                    servers: list[City] | None = None,
+                    pacing: Optional[PacingPolicy] = None,
+                    workers: int = 1) -> list[LocationCell]:
+    """Run the website campaign for every client/server combination.
+
+    Each cell is an independent world, so the matrix fans out through
+    :class:`~repro.measure.parallel.ParallelCampaign`; ``workers=1``
+    (the default) runs the cells in-process in row-major order, exactly
+    like the historical serial loop.
+    """
     clients = clients or Cities.client_cities()
     servers = servers or Cities.server_cities()
-    pt_names = list(pt_names)
-    cells = []
-    for client in clients:
-        for server in servers:
-            config = replace(base_config, client_city=client,
-                             server_city=server)
-            world = World(config)
-            runner = CampaignRunner(world)
-            results = runner.run_website_campaign(
-                pt_names, world.tranco[:n_sites],
-                method=Method.CURL, repetitions=repetitions)
-            cells.append(LocationCell(client=client, server=server,
-                                      results=results))
-    return cells
+    spec = CampaignSpec(
+        seeds=(base_config.seed,),
+        base_config=base_config,
+        pt_names=tuple(pt_names),
+        cells=matrix_cells(clients, servers),
+        n_sites=n_sites,
+        repetitions=repetitions,
+        method=Method.CURL,
+        pacing=pacing or DEFAULT_PACING,
+    )
+    outcome = ParallelCampaign(spec, workers=workers).run()
+    return [LocationCell(client=unit.cell.client, server=unit.cell.server,
+                         results=unit.results)
+            for unit in outcome.units]
 
 
 def mean_by_client(cells: list[LocationCell], pt: str) -> dict[str, float]:

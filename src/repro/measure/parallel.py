@@ -1,0 +1,270 @@
+"""Parallel per-seed campaign execution.
+
+Worlds are fully independent given a seed and a location, so a campaign
+over N seeds and M location cells fans out as N*M self-contained work
+units — the same fan-out/merge architecture OnionPerf uses for its
+vantage points and the KIST evaluation uses for independent Shadow
+experiments. A :class:`ParallelCampaign` expands a :class:`CampaignSpec`
+into work units, runs them either in-process (``workers=1``, the
+byte-deterministic, debuggable fallback) or across a
+:mod:`multiprocessing` pool, and merges the per-unit result sets into
+one :class:`~repro.measure.records.ResultSet` with deterministic
+ordering: sorted by seed, then cell, then record index.
+
+Workers ship their results back as plain rows through the
+:mod:`repro.measure.io` layer (``ResultSet.to_rows`` on the worker
+side, :func:`repro.measure.io.rows_to_result_set` on the parent side),
+so the merge is only trustworthy because that round-trip preserves
+every record field exactly. Each worker also returns its runner's
+perf-counter summary; :meth:`CampaignOutcome.perf_summary` aggregates
+them across units.
+
+Two kinds of spec are supported:
+
+* **matrix mode** — a website campaign over a location matrix
+  (client/server city cells, optional per-cell config overrides),
+  replicated across seeds. ``repro.measure.locations.location_matrix``
+  routes through this.
+* **experiment mode** — a registered experiment id replicated across
+  seeds. ``repro.core.experiments.run_experiment_seeds`` routes through
+  this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from repro.core.config import Scale, WorldConfig
+from repro.core.world import World
+from repro.errors import ConfigError
+from repro.measure import io as measure_io
+from repro.measure.campaign import CampaignRunner
+from repro.measure.ethics import DEFAULT_PACING, PacingPolicy
+from repro.measure.records import Method, ResultSet
+from repro.simnet.geo import City
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One location cell of a matrix campaign.
+
+    ``overrides`` are extra :class:`WorldConfig` field replacements for
+    this cell only (e.g. ``(("medium", Medium.WIRELESS),)``), applied on
+    top of the spec's base config after the cities and seed.
+    """
+
+    client: City
+    server: City
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.client.name, self.server.name)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A campaign to fan out: matrix mode or experiment mode."""
+
+    seeds: tuple[int, ...]
+    # -- matrix mode ----------------------------------------------------
+    base_config: Optional[WorldConfig] = None
+    pt_names: tuple[str, ...] = ()
+    cells: tuple[CellSpec, ...] = ()
+    n_sites: int = 30
+    repetitions: int = 2
+    method: Method = Method.CURL
+    pacing: PacingPolicy = field(default_factory=lambda: DEFAULT_PACING)
+    # -- experiment mode ------------------------------------------------
+    experiment_id: Optional[str] = None
+    scale: Optional[Scale] = None
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigError("campaign spec needs at least one seed")
+        matrix = self.base_config is not None or self.cells
+        if self.experiment_id is not None and matrix:
+            raise ConfigError(
+                "campaign spec is either an experiment id or a location "
+                "matrix, not both")
+        if self.experiment_id is None:
+            if self.base_config is None or not self.cells:
+                raise ConfigError(
+                    "matrix campaign needs a base_config and cells")
+            if not self.pt_names:
+                raise ConfigError("matrix campaign needs transport names")
+
+    @property
+    def is_experiment(self) -> bool:
+        return self.experiment_id is not None
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent world to run: a (seed, cell) combination.
+
+    ``cell_index`` is the cell's position in the spec (``-1`` for
+    experiment units, which have no cells); together with the seed it
+    fixes the unit's position in the deterministic merge order.
+    """
+
+    seed: int
+    cell_index: int
+    spec: CampaignSpec
+
+    @property
+    def cell(self) -> Optional[CellSpec]:
+        if self.cell_index < 0:
+            return None
+        return self.spec.cells[self.cell_index]
+
+
+def _run_unit(unit: WorkUnit) -> dict:
+    """Execute one work unit and return its picklable payload.
+
+    Results travel as plain ``to_rows()`` dicts — the measure.io wire
+    format — never as live record objects, so the in-process and
+    multiprocessing paths hand the parent byte-identical data.
+    """
+    spec = unit.spec
+    if spec.is_experiment:
+        # Imported lazily: core.experiments imports measure.locations,
+        # which imports this module.
+        from repro.core.experiments import run_experiment
+
+        result = run_experiment(spec.experiment_id, seed=unit.seed,
+                                scale=spec.scale)
+        rows = result.results.to_rows() if result.results is not None else []
+        return {"seed": unit.seed, "cell_index": unit.cell_index,
+                "rows": rows, "perf": {},
+                "experiment": {"experiment_id": result.experiment_id,
+                               "title": result.title, "text": result.text,
+                               "metrics": result.metrics,
+                               "paper": result.paper}}
+    cell = unit.cell
+    config = replace(spec.base_config, seed=unit.seed,
+                     client_city=cell.client, server_city=cell.server,
+                     **dict(cell.overrides))
+    world = World(config)
+    runner = CampaignRunner(world, pacing=spec.pacing)
+    results = runner.run_website_campaign(
+        spec.pt_names, world.tranco[:spec.n_sites],
+        method=spec.method, repetitions=spec.repetitions)
+    return {"seed": unit.seed, "cell_index": unit.cell_index,
+            "rows": results.to_rows(), "perf": runner.perf_summary(),
+            "experiment": None}
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """One work unit's reconstructed output."""
+
+    seed: int
+    cell: Optional[CellSpec]
+    results: ResultSet
+    perf: dict[str, float]
+    experiment: Optional[dict] = None
+
+    def to_experiment_result(self):
+        """Rebuild the worker's ExperimentResult (experiment mode only)."""
+        if self.experiment is None:
+            raise ConfigError("not an experiment-mode unit")
+        from repro.core.experiments import ExperimentResult
+
+        return ExperimentResult(
+            experiment_id=self.experiment["experiment_id"],
+            title=self.experiment["title"], text=self.experiment["text"],
+            metrics=self.experiment["metrics"],
+            paper=self.experiment["paper"],
+            results=self.results if len(self.results) else None)
+
+
+@dataclass
+class CampaignOutcome:
+    """Merged output of a parallel campaign."""
+
+    spec: CampaignSpec
+    units: list[UnitResult]   # sorted by (seed, cell index)
+    merged: ResultSet         # unit results concatenated in that order
+    workers: int
+
+    def perf_summary(self) -> dict[str, float]:
+        """Perf counters summed across every unit's world.
+
+        Counters are additive event/work totals; ``sim_time_s`` becomes
+        the total simulated seconds across all worlds. ``units`` and
+        ``workers`` describe the fan-out itself.
+        """
+        total: dict[str, float] = {}
+        for unit in self.units:
+            for key, value in unit.perf.items():
+                total[key] = total.get(key, 0.0) + float(value)
+        total["units"] = float(len(self.units))
+        total["workers"] = float(self.workers)
+        return total
+
+
+class ParallelCampaign:
+    """Fans a campaign spec across worker processes and merges results.
+
+    ``workers=1`` runs every unit in the parent process (no pool), which
+    keeps results byte-deterministic with the multiprocessing path —
+    both serialize through the same rows wire format — while remaining
+    steppable under a debugger.
+    """
+
+    def __init__(self, spec: CampaignSpec, *, workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        self.spec = spec
+        self.workers = workers
+
+    def work_units(self) -> list[WorkUnit]:
+        """Expand the spec into independent (seed, cell) work units."""
+        spec = self.spec
+        if spec.is_experiment:
+            return [WorkUnit(seed=seed, cell_index=-1, spec=spec)
+                    for seed in spec.seeds]
+        return [WorkUnit(seed=seed, cell_index=index, spec=spec)
+                for seed in spec.seeds
+                for index in range(len(spec.cells))]
+
+    def run(self) -> CampaignOutcome:
+        units = self.work_units()
+        if self.workers == 1 or len(units) == 1:
+            payloads = [_run_unit(unit) for unit in units]
+        else:
+            with multiprocessing.Pool(
+                    processes=min(self.workers, len(units))) as pool:
+                payloads = pool.map(_run_unit, units, chunksize=1)
+        # Deterministic merge order regardless of completion order:
+        # seed, then cell, then (preserved) record index within the unit.
+        payloads.sort(key=lambda p: (p["seed"], p["cell_index"]))
+        results = [
+            UnitResult(
+                seed=payload["seed"],
+                cell=(self.spec.cells[payload["cell_index"]]
+                      if payload["cell_index"] >= 0 else None),
+                results=measure_io.rows_to_result_set(payload["rows"]),
+                perf=payload["perf"],
+                experiment=payload["experiment"])
+            for payload in payloads
+        ]
+        merged = measure_io.merge(unit.results for unit in results)
+        return CampaignOutcome(spec=self.spec, units=results, merged=merged,
+                               workers=self.workers)
+
+
+def matrix_cells(clients: Iterable[City], servers: Iterable[City],
+                 overrides: Optional[dict[tuple[str, str], dict]] = None,
+                 ) -> tuple[CellSpec, ...]:
+    """Row-major client x server cells, with optional per-cell overrides
+    keyed by ``(client_name, server_name)``."""
+    overrides = overrides or {}
+    return tuple(
+        CellSpec(client=client, server=server,
+                 overrides=tuple(sorted(
+                     overrides.get((client.name, server.name), {}).items())))
+        for client in clients for server in servers)

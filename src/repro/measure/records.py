@@ -217,6 +217,8 @@ class ResultSet:
                 "bytes_expected": r.bytes_expected,
                 "bytes_received": r.bytes_received,
                 "repetition": r.repetition,
+                "sim_time_s": r.sim_time_s,
+                "meta": dict(r.meta),
             }
             for r in self.records
         ]

@@ -37,6 +37,27 @@ def test_ecdf_series_downsamples():
     assert series[-1] == (999, 1.0)
 
 
+def test_ecdf_series_anchors_minimum():
+    """Downsampled series must start at the true support (xs[0], ps[0])."""
+    e = ECDF.from_values(list(range(1000)))
+    series = e.series(points=20)
+    assert series[0] == (0, 1 / 1000)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=500),
+       st.integers(min_value=2, max_value=60))
+@settings(max_examples=100, deadline=None)
+def test_ecdf_series_endpoints_and_monotone(values, points):
+    e = ECDF.from_values(values)
+    series = e.series(points=points)
+    assert series[0] == (e.xs[0], e.ps[0])
+    assert series[-1] == (e.xs[-1], e.ps[-1])
+    assert len(series) == min(points, e.n)
+    assert all(a[0] <= b[0] and a[1] <= b[1]
+               for a, b in zip(series, series[1:]))
+
+
 def test_ecdf_rejects_empty():
     with pytest.raises(ValueError):
         ECDF.from_values([])

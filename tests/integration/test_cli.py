@@ -32,6 +32,20 @@ def test_run_respects_seed_and_scale(capsys):
     assert "2022-09" in out
 
 
+def test_run_multi_seed_fanout(capsys):
+    assert main(["run", "table2", "--scale", "tiny",
+                 "--seeds", "1", "2", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "-- seed 1 --" in out
+    assert "-- seed 2 --" in out
+    assert "mean over seeds [1, 2]" in out
+
+
+def test_run_rejects_bad_workers(capsys):
+    assert main(["run", "table2", "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
 def test_compare_command(capsys):
     assert main(["compare", "tor", "obfs4", "--sites", "4",
                  "--repetitions", "1"]) == 0

@@ -1,8 +1,17 @@
 """Round-trip tests for result-set persistence."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.measure.io import merge, read_csv, read_json, write_csv, write_json
+from repro.measure.io import (
+    merge,
+    read_csv,
+    read_json,
+    rows_to_result_set,
+    write_csv,
+    write_json,
+)
 from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
 from repro.web.types import Status
 
@@ -15,13 +24,14 @@ def sample_results() -> ResultSet:
             client_city="London", server_city="Frankfurt", medium="wired",
             duration_s=2.5, status=Status.COMPLETE,
             bytes_expected=1000.0, bytes_received=1000.0, ttfb_s=0.8,
-            repetition=1),
+            sim_time_s=17.25, repetition=1),
         MeasurementRecord(
             pt="meek", category="proxy layer", target="file-5mb",
             kind=TargetKind.FILE, method=Method.CURL,
             client_city="London", server_city="Frankfurt", medium="wired",
             duration_s=110.0, status=Status.PARTIAL,
-            bytes_expected=5e6, bytes_received=2.5e6, ttfb_s=None),
+            bytes_expected=5e6, bytes_received=2.5e6, ttfb_s=None,
+            meta={"failure_reason": "timeout"}),
         MeasurementRecord(
             pt="obfs4", category="fully encrypted", target="site1",
             kind=TargetKind.WEBSITE, method=Method.BROWSERTIME,
@@ -36,17 +46,9 @@ def sample_results() -> ResultSet:
 def _assert_equal(a: ResultSet, b: ResultSet):
     assert len(a) == len(b)
     for ra, rb in zip(a, b):
-        assert ra.pt == rb.pt
-        assert ra.target == rb.target
-        assert ra.kind is rb.kind
-        assert ra.method is rb.method
-        assert ra.status is rb.status
-        assert ra.duration_s == pytest.approx(rb.duration_s)
-        assert (ra.ttfb_s is None) == (rb.ttfb_s is None)
-        if ra.ttfb_s is not None:
-            assert ra.ttfb_s == pytest.approx(rb.ttfb_s)
-        assert (ra.speed_index_s is None) == (rb.speed_index_s is None)
-        assert ra.repetition == rb.repetition
+        # Full dataclass equality: every field must survive the trip,
+        # including sim_time_s and meta.
+        assert ra == rb
 
 
 def test_csv_roundtrip(tmp_path):
@@ -71,6 +73,75 @@ def test_merge_concatenates():
     merged = merge([sample_results(), sample_results()])
     assert len(merged) == 6
     assert merged.pts() == ["tor", "meek", "obfs4"]
+
+
+def test_rows_roundtrip_is_exact():
+    """to_rows -> rows_to_result_set is the parallel-worker wire format."""
+    original = sample_results()
+    rebuilt = rows_to_result_set(original.to_rows())
+    assert rebuilt.records == original.records
+
+
+def test_read_csv_tolerates_files_without_new_columns(tmp_path):
+    """Files written before sim_time_s/meta existed still load."""
+    legacy = tmp_path / "legacy.csv"
+    legacy.write_text(
+        "pt,category,target,kind,method,client,server,medium,duration_s,"
+        "ttfb_s,speed_index_s,status,bytes_expected,bytes_received,"
+        "repetition\n"
+        "tor,baseline,site0,website,curl,London,Frankfurt,wired,2.5,"
+        "0.8,,complete,1000.0,1000.0,1\n")
+    loaded = read_csv(legacy)
+    assert len(loaded) == 1
+    record = loaded.records[0]
+    assert record.sim_time_s == 0.0
+    assert record.meta == {}
+    assert record.duration_s == 2.5
+
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",),
+                           blacklist_characters="\r\x00"),
+    min_size=1, max_size=12)
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_opt_float = st.none() | st.floats(allow_nan=False, allow_infinity=False,
+                                   min_value=0.0, max_value=1e6)
+_meta = st.dictionaries(
+    keys=_text,
+    values=st.one_of(_text, st.integers(-10**9, 10**9), _finite),
+    max_size=3)
+
+_records = st.builds(
+    MeasurementRecord,
+    pt=_text, category=_text, target=_text,
+    kind=st.sampled_from(list(TargetKind)),
+    method=st.sampled_from(list(Method)),
+    client_city=_text, server_city=_text, medium=_text,
+    duration_s=_finite,
+    status=st.sampled_from(list(Status)),
+    bytes_expected=_finite, bytes_received=_finite,
+    ttfb_s=_opt_float, speed_index_s=_opt_float,
+    sim_time_s=_finite,
+    repetition=st.integers(0, 10**6),
+    meta=_meta)
+
+
+@given(records=st.lists(_records, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_csv_roundtrip_reproduces_every_field(tmp_path_factory, records):
+    original = ResultSet(records)
+    path = tmp_path_factory.mktemp("io") / "prop.csv"
+    reloaded = read_csv(write_csv(original, path))
+    assert reloaded.records == original.records
+
+
+@given(records=st.lists(_records, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_json_roundtrip_reproduces_every_field(tmp_path_factory, records):
+    original = ResultSet(records)
+    path = tmp_path_factory.mktemp("io") / "prop.json"
+    reloaded = read_json(write_json(original, path))
+    assert reloaded.records == original.records
 
 
 def test_roundtrip_of_real_campaign(tmp_path):

@@ -74,6 +74,28 @@ def test_degraded_weeks_do_not_join_baseline(world):
     assert flagged == list(range(first, 8))
 
 
+def test_p90_uses_nearest_rank():
+    """n=10: p90 is the 9th order statistic, not the maximum."""
+    from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+    from repro.web.types import Status
+
+    def record(duration):
+        return MeasurementRecord(
+            pt="tor", category="baseline", target="site",
+            kind=TargetKind.WEBSITE, method=Method.CURL,
+            client_city="London", server_city="Frankfurt", medium="wired",
+            duration_s=duration, status=Status.COMPLETE,
+            bytes_expected=1.0, bytes_received=1.0)
+
+    group = ResultSet([record(float(d)) for d in range(1, 11)])
+    sample = LongTermMonitor._summarise(0, "tor", group)
+    assert sample.p90_s == 9.0  # ceil(0.9 * 10) - 1 = index 8
+
+    # Degenerate sizes stay in range.
+    assert LongTermMonitor._summarise(0, "tor",
+                                      ResultSet([record(4.0)])).p90_s == 4.0
+
+
 def test_anomaly_describe():
     anomaly = Anomaly(week=5, pt="snowflake", mean_s=6.0,
                       baseline_mean_s=3.0, z_score=4.2)

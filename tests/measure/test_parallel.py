@@ -1,0 +1,130 @@
+"""Unit tests for the parallel campaign driver."""
+
+import pytest
+
+from repro.core.config import WorldConfig
+from repro.errors import ConfigError
+from repro.measure.ethics import PacingPolicy
+from repro.measure.parallel import (
+    CampaignSpec,
+    CellSpec,
+    ParallelCampaign,
+    matrix_cells,
+)
+from repro.simnet.geo import Cities, Medium
+
+_FAST = PacingPolicy(gap_between_accesses_s=0.5, batch_size=0)
+
+
+def _matrix_spec(seeds=(3,), clients=None, servers=None, **kwargs):
+    clients = clients or [Cities.LONDON]
+    servers = servers or [Cities.FRANKFURT]
+    defaults = dict(
+        seeds=tuple(seeds),
+        base_config=WorldConfig(seed=seeds[0], tranco_size=4, cbl_size=4,
+                                transports=("tor", "obfs4")),
+        pt_names=("tor", "obfs4"),
+        cells=matrix_cells(clients, servers),
+        n_sites=2, repetitions=1, pacing=_FAST)
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def test_spec_requires_seeds():
+    with pytest.raises(ConfigError):
+        CampaignSpec(seeds=(), experiment_id="fig2a")
+
+
+def test_spec_rejects_both_modes():
+    with pytest.raises(ConfigError):
+        CampaignSpec(seeds=(1,), experiment_id="fig2a",
+                     base_config=WorldConfig(),
+                     cells=matrix_cells([Cities.LONDON], [Cities.FRANKFURT]))
+
+
+def test_matrix_spec_requires_cells_and_pts():
+    with pytest.raises(ConfigError):
+        CampaignSpec(seeds=(1,), base_config=WorldConfig())
+    with pytest.raises(ConfigError):
+        CampaignSpec(seeds=(1,), base_config=WorldConfig(),
+                     cells=matrix_cells([Cities.LONDON], [Cities.FRANKFURT]),
+                     pt_names=())
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ConfigError):
+        ParallelCampaign(_matrix_spec(), workers=0)
+
+
+def test_work_unit_expansion_is_seed_by_cell():
+    spec = _matrix_spec(seeds=(1, 2),
+                        clients=[Cities.LONDON, Cities.BANGALORE],
+                        servers=[Cities.FRANKFURT])
+    units = ParallelCampaign(spec).work_units()
+    assert len(units) == 4
+    assert [(u.seed, u.cell_index) for u in units] == [
+        (1, 0), (1, 1), (2, 0), (2, 1)]
+    assert units[1].cell.client is Cities.BANGALORE
+
+
+def test_matrix_cells_row_major_with_overrides():
+    cells = matrix_cells(
+        [Cities.LONDON, Cities.TORONTO], [Cities.FRANKFURT],
+        overrides={("Toronto", "Frankfurt"): {"medium": Medium.WIRELESS}})
+    assert [c.key for c in cells] == [("London", "Frankfurt"),
+                                      ("Toronto", "Frankfurt")]
+    assert cells[0].overrides == ()
+    assert dict(cells[1].overrides) == {"medium": Medium.WIRELESS}
+
+
+def test_merge_order_sorted_by_seed_then_cell():
+    spec = _matrix_spec(seeds=(5, 2))  # deliberately out of order
+    outcome = ParallelCampaign(spec, workers=1).run()
+    assert [u.seed for u in outcome.units] == [2, 5]
+    # Merged records follow the unit order: all of seed 2's first.
+    seeds_seen = [u.seed for u in outcome.units for _ in u.results]
+    assert seeds_seen == sorted(seeds_seen)
+
+
+def test_cell_override_applied():
+    spec = _matrix_spec(cells=matrix_cells(
+        [Cities.LONDON], [Cities.FRANKFURT],
+        overrides={("London", "Frankfurt"): {"medium": Medium.WIRELESS}}))
+    outcome = ParallelCampaign(spec, workers=1).run()
+    assert all(r.medium == "wireless" for r in outcome.merged)
+
+
+def test_perf_summary_aggregates_across_units():
+    spec = _matrix_spec(seeds=(1, 2))
+    outcome = ParallelCampaign(spec, workers=1).run()
+    perf = outcome.perf_summary()
+    assert perf["units"] == 2.0
+    assert perf["workers"] == 1.0
+    # 2 seeds x 1 cell x 2 PTs x 2 sites x 1 rep
+    assert perf["measurements_run"] == 8.0
+    assert perf["measurements_run"] == sum(
+        u.perf["measurements_run"] for u in outcome.units)
+
+
+def test_results_preserve_sim_time_and_meta_across_wire():
+    outcome = ParallelCampaign(_matrix_spec(), workers=1).run()
+    assert len(outcome.merged)
+    assert all(r.sim_time_s > 0 for r in outcome.merged)
+    assert all(isinstance(r.meta, dict) for r in outcome.merged)
+
+
+def test_experiment_mode_returns_metrics():
+    spec = CampaignSpec(seeds=(1, 2), experiment_id="table2")
+    outcome = ParallelCampaign(spec, workers=1).run()
+    assert len(outcome.units) == 2
+    for unit in outcome.units:
+        result = unit.to_experiment_result()
+        assert result.experiment_id == "table2"
+        assert result.metrics
+    assert outcome.perf_summary()["units"] == 2.0
+
+
+def test_experiment_unit_rejects_to_experiment_result_in_matrix_mode():
+    outcome = ParallelCampaign(_matrix_spec(), workers=1).run()
+    with pytest.raises(ConfigError):
+        outcome.units[0].to_experiment_result()
