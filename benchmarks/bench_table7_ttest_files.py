@@ -5,8 +5,8 @@ from benchmarks.conftest import run_figure
 
 def test_table7_file_ttests(benchmark):
     result = run_figure(benchmark, "table7")
-    diff = result.metrics.get("diff:Obfs4-Marionette")
+    diff = result.metrics.get("diff:obfs4-marionette")
     if diff is None:
-        diff = -result.metrics.get("diff:Marionette-Obfs4", 0.0)
+        diff = -result.metrics.get("diff:marionette-obfs4", 0.0)
     # obfs4 is dramatically faster than marionette (paper: ~-1195s).
     assert diff < -100

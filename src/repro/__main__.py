@@ -21,7 +21,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis import backend
 from repro.core.config import Scale
+from repro.errors import ConfigError
 from repro.core.experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -63,6 +65,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        backend.set_engine(args.analysis_engine)
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     scale = _SCALES[args.scale]()
     perf = PTPerf(seed=args.seed, scale=scale)
@@ -115,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes for --seeds fan-out "
                           "(1 = in-process, deterministic serial order)")
+    run.add_argument("--analysis-engine", choices=("auto", "numpy", "python"),
+                     default="auto",
+                     help="statistical-reduction engine (auto = numpy when "
+                          "importable; both engines are bit-identical)")
 
     compare = sub.add_parser("compare", help="quick PT comparison")
     compare.add_argument("pts", nargs="+", help="transport names")

@@ -1,12 +1,26 @@
-"""Statistical analysis: paired t-tests, ECDFs, box stats, tables."""
+"""Statistical analysis: paired t-tests, ECDFs, box stats, tables.
 
+The batched reductions live in :mod:`repro.analysis.backend`, which is
+numpy-accelerated when numpy is importable and falls back to bit-equal
+pure python otherwise (select with ``backend.use_engine``).
+"""
+
+from repro.analysis import backend
 from repro.analysis.aggregate import (
     box_by_pt,
     category_ttests,
     ecdf_by_pt,
     mean_by_pt,
+    pair_label,
+    pt_label,
     reliability_by_pt,
     ttest_matrix,
+)
+from repro.analysis.backend import (
+    current_engine,
+    numpy_available,
+    set_engine,
+    use_engine,
 )
 from repro.analysis.boxstats import BoxStats
 from repro.analysis.ecdf import ECDF
@@ -14,15 +28,17 @@ from repro.analysis.stats import PairedTTest, SummaryStats, paired_t_test, summa
 from repro.analysis.tables import (
     comparison_rows,
     format_p,
+    format_t,
     render_table,
     ttest_table,
 )
 from repro.analysis.tdist import incomplete_beta, t_ppf, t_sf, t_two_sided_p
 
 __all__ = [
-    "BoxStats", "ECDF", "PairedTTest", "SummaryStats", "box_by_pt",
-    "category_ttests", "comparison_rows", "ecdf_by_pt", "format_p",
-    "incomplete_beta", "mean_by_pt", "paired_t_test", "reliability_by_pt",
-    "render_table", "summary", "t_ppf", "t_sf", "t_two_sided_p",
-    "ttest_matrix", "ttest_table",
+    "BoxStats", "ECDF", "PairedTTest", "SummaryStats", "backend",
+    "box_by_pt", "category_ttests", "comparison_rows", "current_engine",
+    "ecdf_by_pt", "format_p", "format_t", "incomplete_beta", "mean_by_pt",
+    "numpy_available", "pair_label", "paired_t_test", "pt_label",
+    "reliability_by_pt", "render_table", "set_engine", "summary", "t_ppf",
+    "t_sf", "t_two_sided_p", "ttest_matrix", "ttest_table", "use_engine",
 ]

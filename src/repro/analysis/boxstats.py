@@ -2,21 +2,11 @@
 
 from __future__ import annotations
 
-import statistics
+import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
-
-def _quantile(sorted_values: Sequence[float], q: float) -> float:
-    """Linear-interpolation quantile (matplotlib's default)."""
-    n = len(sorted_values)
-    if n == 1:
-        return sorted_values[0]
-    pos = q * (n - 1)
-    lo = int(pos)
-    hi = min(lo + 1, n - 1)
-    frac = pos - lo
-    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+from repro.analysis import backend
 
 
 @dataclass(frozen=True)
@@ -34,28 +24,30 @@ class BoxStats:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "BoxStats":
-        if not values:
+        if len(values) == 0:
             raise ValueError("cannot summarise an empty sample")
-        xs = sorted(values)
-        q1 = _quantile(xs, 0.25)
-        q3 = _quantile(xs, 0.75)
+        xs = backend.sort_values(values)
+        q1 = backend.linear_quantile(xs, 0.25)
+        q3 = backend.linear_quantile(xs, 0.75)
         iqr = q3 - q1
         lo_fence = q1 - 1.5 * iqr
         hi_fence = q3 + 1.5 * iqr
-        in_fence = [x for x in xs if lo_fence <= x <= hi_fence]
+        lo_idx = bisect.bisect_left(xs, lo_fence)
+        hi_idx = bisect.bisect_right(xs, hi_fence)
         # Whiskers never retreat inside the box (possible when every
         # point below the interpolated q1 is fenced out as an outlier).
-        whisker_low = min(min(in_fence), q1) if in_fence else xs[0]
-        whisker_high = max(max(in_fence), q3) if in_fence else xs[-1]
+        in_fence = lo_idx < hi_idx
+        whisker_low = min(xs[lo_idx], q1) if in_fence else xs[0]
+        whisker_high = max(xs[hi_idx - 1], q3) if in_fence else xs[-1]
         return cls(
             n=len(xs),
-            mean=statistics.fmean(xs),
-            median=_quantile(xs, 0.5),
+            mean=backend.mean(xs),
+            median=backend.linear_quantile(xs, 0.5),
             q1=q1,
             q3=q3,
             whisker_low=whisker_low,
             whisker_high=whisker_high,
-            outliers=len(xs) - len(in_fence),
+            outliers=len(xs) - (hi_idx - lo_idx),
         )
 
     @property

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-import math
+import bisect
 from dataclasses import dataclass
 from typing import Sequence
+
+from repro.analysis import backend
 
 
 @dataclass(frozen=True)
@@ -16,12 +18,14 @@ class ECDF:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "ECDF":
-        if not values:
-            raise ValueError("cannot build an ECDF from an empty sample")
-        xs = tuple(sorted(values))
-        n = len(xs)
-        ps = tuple((i + 1) / n for i in range(n))
-        return cls(xs=xs, ps=ps)
+        xs, ps = backend.ecdf_arrays(values)
+        return cls(xs=tuple(xs), ps=tuple(ps))
+
+    @classmethod
+    def from_sorted(cls, sorted_values: Sequence[float]) -> "ECDF":
+        """Build from an already-sorted sample (skips the sort)."""
+        return cls(xs=tuple(sorted_values),
+                   ps=tuple(backend.ecdf_ps(len(sorted_values))))
 
     @property
     def n(self) -> int:
@@ -29,25 +33,19 @@ class ECDF:
 
     def evaluate(self, x: float) -> float:
         """P(X <= x)."""
-        lo, hi = 0, len(self.xs)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.xs[mid] <= x:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo / len(self.xs)
+        return bisect.bisect_right(self.xs, x) / len(self.xs)
+
+    def evaluate_many(self, queries: Sequence[float]) -> list[float]:
+        """Batched :meth:`evaluate` (vectorized under the numpy engine)."""
+        return backend.ecdf_evaluate_many(self.xs, queries)
 
     def fraction_below(self, x: float) -> float:
         """Alias of :meth:`evaluate`, reads naturally in reports."""
         return self.evaluate(x)
 
     def quantile(self, q: float) -> float:
-        """Smallest sample value with CDF >= q."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError("quantile must be in (0, 1]")
-        index = max(0, math.ceil(q * len(self.xs)) - 1)
-        return self.xs[index]
+        """Smallest sample value with CDF >= q (nearest-rank)."""
+        return backend.nearest_rank_quantile(self.xs, q)
 
     def series(self, points: int = 50) -> list[tuple[float, float]]:
         """Downsampled (x, p) pairs for compact textual plots.

@@ -7,6 +7,7 @@ everything else.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.analysis.stats import PairedTTest
@@ -38,10 +39,17 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *,
 
 
 def format_p(p: float) -> str:
-    """The paper's P-value convention."""
+    """The paper's P-value convention (exact zeros render "<.001")."""
     if p < 0.001:
         return "<.001"
     return f"{p:.2f}" if p >= 0.01 else f"{p:.3f}"
+
+
+def format_t(t: float) -> str:
+    """t statistic cell; degenerate ±inf values render literally."""
+    if math.isinf(t):
+        return "inf" if t > 0 else "-inf"
+    return f"{t:.3f}"
 
 
 def ttest_table(results: Mapping[str, PairedTTest]) -> str:
@@ -51,7 +59,7 @@ def ttest_table(results: Mapping[str, PairedTTest]) -> str:
     rows = []
     for pair, test in results.items():
         rows.append([pair, f"{test.ci_low:.3f}", f"{test.ci_high:.3f}",
-                     f"{test.t:.3f}", format_p(test.p),
+                     format_t(test.t), format_p(test.p),
                      f"{test.mean_diff:.3f}"])
     return render_table(headers, rows)
 

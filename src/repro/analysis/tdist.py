@@ -9,6 +9,7 @@ cross-checks every path against ``scipy.stats``.
 
 from __future__ import annotations
 
+import functools
 import math
 
 _MAX_ITER = 300
@@ -83,10 +84,14 @@ def t_two_sided_p(t: float, df: float) -> float:
     return min(1.0, 2.0 * t_sf(abs(t), df))
 
 
+@functools.lru_cache(maxsize=4096)
 def t_ppf(q: float, df: float) -> float:
     """Quantile (inverse CDF) via bisection on the survival function.
 
-    Accurate to ~1e-10, plenty for confidence intervals.
+    Accurate to ~1e-10, plenty for confidence intervals. Memoized: a
+    t-test table evaluates hundreds of pairs that share a handful of
+    (confidence, df) combinations, and each bisection costs ~200
+    survival-function evaluations.
     """
     if not 0.0 < q < 1.0:
         raise ValueError("quantile must be in (0, 1)")

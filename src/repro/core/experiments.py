@@ -295,16 +295,18 @@ def _fig2b(seed: int, scale: Scale) -> ExperimentResult:
 
 
 #: The key t-test pairs the paper discusses in prose, with its values.
+#: Keys follow :func:`repro.analysis.aggregate.pair_label`: registry
+#: names verbatim, baseline rendered "Tor".
 _PAPER_TTEST_CURL = {
-    "Tor-Dnstt": -4.791, "Tor-Meek": -4.094, "Tor-Camoufler": -12.032,
-    "Tor-Marionette": -15.079, "Obfs4-Meek": -5.117, "Tor-Obfs4": 1.133,
-    "Snowflake-Meek": -4.440, "Camoufler-Webtunnel": 11.341,
+    "Tor-dnstt": -4.791, "Tor-meek": -4.094, "Tor-camoufler": -12.032,
+    "Tor-marionette": -15.079, "obfs4-meek": -5.117, "Tor-obfs4": 1.133,
+    "snowflake-meek": -4.440, "camoufler-webtunnel": 11.341,
 }
 
 _PAPER_TTEST_SELENIUM = {
-    "Tor-Meek": -39.991, "Tor-Obfs4": 5.934, "Tor-Webtunnel": 4.198,
-    "Tor-Conjure": 3.040, "Snowflake-Conjure": 18.288,
-    "Tor-Marionette": -47.024, "Tor-Dnstt": -20.086,
+    "Tor-meek": -39.991, "Tor-obfs4": 5.934, "Tor-webtunnel": 4.198,
+    "Tor-conjure": 3.040, "snowflake-conjure": 18.288,
+    "Tor-marionette": -47.024, "Tor-dnstt": -20.086,
 }
 
 
@@ -456,8 +458,8 @@ def _fig3a(seed: int, scale: Scale) -> ExperimentResult:
         metrics[f"p:{pair}"] = test.p
     paper = {"mean:tor": 13.41, "mean:obfs4": 13.17, "mean:webtunnel": 13.59,
              # Same-circuit differences are NOT significant in the paper.
-             "p:Webtunnel-Tor": 0.508, "p:Obfs4-Tor": 0.327,
-             "p:Webtunnel-Obfs4": 0.95}
+             "p:webtunnel-Tor": 0.508, "p:obfs4-Tor": 0.327,
+             "p:webtunnel-obfs4": 0.95}
     return ExperimentResult("fig3a", "fixed-circuit comparison", text,
                             metrics=metrics, paper=paper, results=results)
 
@@ -633,9 +635,9 @@ def _table7(seed: int, scale: Scale) -> ExperimentResult:
     metrics = {_ttest_metric_key(k): v.mean_diff for k, v in tests.items()}
     # The paper's headline: obfs4 significantly faster than stegotorus
     # and marionette; no significant gap inside the fast group.
-    paper = {_ttest_metric_key("Obfs4-Stegotorus"): -97.9,
-             _ttest_metric_key("Obfs4-Marionette"): -1194.5,
-             _ttest_metric_key("Obfs4-Cloak"): 28.0}
+    paper = {_ttest_metric_key("obfs4-stegotorus"): -97.9,
+             _ttest_metric_key("obfs4-marionette"): -1194.5,
+             _ttest_metric_key("obfs4-cloak"): 28.0}
     return ExperimentResult("table7", "file-download t-tests", text,
                             metrics=metrics, paper=paper, results=results)
 
@@ -649,7 +651,7 @@ def _table7(seed: int, scale: Scale) -> ExperimentResult:
 def _fig6(seed: int, scale: Scale) -> ExperimentResult:
     _, results = _website_campaign(seed, scale, Method.CURL,
                                    surge=pre_september_level())
-    ecdfs = ecdf_by_pt(results, value="ttfb_s")
+    ecdfs = ecdf_by_pt(results, value="ttfb_s", method=Method.CURL)
     rows = []
     metrics = {}
     for pt, ecdf in sorted(ecdfs.items(), key=lambda kv: kv[1].quantile(0.5)):
@@ -791,7 +793,6 @@ def _fig10b(seed: int, scale: Scale) -> ExperimentResult:
     pre_mean, pre = _snowflake_mean(seed, scale, pre_september_level(), "pre")
     post_mean, post = _snowflake_mean(seed, scale, post_september_level(),
                                       "post")
-    xs, ys = pre.paired_values("snowflake", "snowflake")  # placeholder
     pre_means = pre.per_target_means("snowflake")
     post_means = post.per_target_means("snowflake")
     common = [t for t in pre_means if t in post_means]
@@ -880,9 +881,9 @@ def _tables8_9(seed: int, scale: Scale) -> ExperimentResult:
                          method=Method.BROWSERTIME)
     text = ttest_table(tests)
     metrics = {_ttest_metric_key(k): v.mean_diff for k, v in tests.items()}
-    paper = {_ttest_metric_key("Tor-Meek"): -26.4,
-             _ttest_metric_key("Tor-Obfs4"): -1.63,
-             _ttest_metric_key("Tor-Marionette"): -45.7}
+    paper = {_ttest_metric_key("Tor-meek"): -26.4,
+             _ttest_metric_key("Tor-obfs4"): -1.63,
+             _ttest_metric_key("Tor-marionette"): -45.7}
     return ExperimentResult("tables8_9", "speed-index t-tests", text,
                             metrics=metrics, paper=paper, results=results)
 

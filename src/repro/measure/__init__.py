@@ -24,6 +24,8 @@ from repro.measure.parallel import (
     matrix_cells,
 )
 from repro.measure.records import (
+    ColumnStore,
+    GroupedValues,
     MeasurementRecord,
     Method,
     ResultSet,
@@ -41,7 +43,8 @@ from repro.measure.surge import (
 
 __all__ = [
     "Anomaly", "CampaignOutcome", "CampaignRunner", "CampaignSpec",
-    "CellSpec", "DEFAULT_PACING", "LocationCell", "LongTermMonitor",
+    "CellSpec", "ColumnStore", "DEFAULT_PACING", "GroupedValues",
+    "LocationCell", "LongTermMonitor",
     "MeasurementRecord", "Method", "OVERLOAD_PACING",
     "POST_SEPTEMBER_MONTHS", "PRE_SEPTEMBER_MONTHS", "PacingPolicy",
     "ParallelCampaign", "ProbeSample", "ResultSet",

@@ -15,7 +15,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.analysis.ecdf import ECDF
+from repro.analysis import backend
 from repro.core.world import World
 from repro.measure.ethics import PacingPolicy
 from repro.measure.records import Method, ResultSet
@@ -98,9 +98,9 @@ class LongTermMonitor:
     def _summarise(week: int, pt: str, group: ResultSet) -> ProbeSample:
         durations = sorted(group.durations())
         # Nearest-rank percentile (int(0.9 * n) over-indexes: n=10
-        # would report the maximum); one shared definition with the
-        # analysis layer.
-        p90 = ECDF.from_values(durations).quantile(0.9)
+        # would report the maximum); the single shared definition in
+        # the analysis backend.
+        p90 = backend.nearest_rank_quantile(durations, 0.9)
         failures = group.status_fractions()
         failed = failures[Status.PARTIAL] + failures[Status.FAILED]
         return ProbeSample(week=week, pt=pt,

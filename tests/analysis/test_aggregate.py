@@ -55,15 +55,29 @@ def test_box_by_pt_median(results):
 
 def test_ttest_matrix_all_pairs(results):
     tests = ttest_matrix(results)
-    assert set(tests) == {"Tor-Dnstt", "Tor-Obfs4", "Dnstt-Obfs4"}
-    assert tests["Tor-Dnstt"].mean_diff == pytest.approx(-2.1)
-    assert tests["Tor-Obfs4"].mean_diff == pytest.approx(0.5)
+    assert set(tests) == {"Tor-dnstt", "Tor-obfs4", "dnstt-obfs4"}
+    assert tests["Tor-dnstt"].mean_diff == pytest.approx(-2.1)
+    assert tests["Tor-obfs4"].mean_diff == pytest.approx(0.5)
 
 
 def test_ttest_matrix_explicit_pairs(results):
     tests = ttest_matrix(results, pairs=[("obfs4", "tor")])
-    assert list(tests) == ["Obfs4-Tor"]
-    assert tests["Obfs4-Tor"].mean_diff == pytest.approx(-0.5)
+    assert list(tests) == ["obfs4-Tor"]
+    assert tests["obfs4-Tor"].mean_diff == pytest.approx(-0.5)
+
+
+def test_ttest_matrix_preserves_multi_case_names():
+    """Regression: capitalize() collided "WebTunnel" and "Webtunnel"."""
+    rs = ResultSet()
+    for target, base in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+        rs.append(rec("WebTunnel", target, base, category="tunneling"))
+        rs.append(rec("Webtunnel", target, base + 1.0, category="tunneling"))
+        rs.append(rec("tor", target, base + 2.0))
+    tests = ttest_matrix(rs)
+    # Three distinct pairs survive: the two spellings must not merge.
+    assert set(tests) == {"WebTunnel-Webtunnel", "WebTunnel-Tor",
+                          "Webtunnel-Tor"}
+    assert tests["WebTunnel-Webtunnel"].mean_diff == pytest.approx(-1.0)
 
 
 def test_category_ttests_label_baseline_as_tor(results):
@@ -86,6 +100,36 @@ def test_ecdf_by_pt_skips_missing_values():
                     rec("tor", "b", 1.0, ttfb=None)])
     ecdfs = ecdf_by_pt(rs, value="ttfb_s")
     assert ecdfs["tor"].n == 1
+
+
+def test_ecdf_by_pt_respects_method_filter():
+    """Regression: ecdf_by_pt silently mixed access methods."""
+    rs = ResultSet([
+        rec("tor", "a", 1.0, ttfb=0.5, method=Method.CURL),
+        rec("tor", "a", 9.0, ttfb=8.0, method=Method.SELENIUM),
+    ])
+    mixed = ecdf_by_pt(rs, value="ttfb_s")
+    assert mixed["tor"].n == 2
+    curl_only = ecdf_by_pt(rs, value="ttfb_s", method=Method.CURL)
+    assert curl_only["tor"].n == 1
+    assert list(curl_only["tor"].xs) == [0.5]
+    assert "tor" not in ecdf_by_pt(rs, value="speed_index_s",
+                                   method=Method.CURL)
+
+
+def test_category_ttests_reject_inconsistent_categories():
+    """A transport whose records disagree on category must raise."""
+    rs = ResultSet()
+    for target, base in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+        rs.append(rec("tor", target, base))
+        rs.append(rec("dnstt", target, base + 1.0, category="tunneling"))
+    rs.append(rec("dnstt", "a", 9.0, category="mimicry"))
+    with pytest.raises(ValueError, match="inconsistent categories"):
+        category_ttests(rs)
+    # ttest_matrix only needs labels: it must not fail on a transport
+    # outside the requested pair.
+    tests = ttest_matrix(rs, pairs=[("tor", "dnstt")])
+    assert list(tests) == ["Tor-dnstt"]
 
 
 def test_reliability_by_pt():

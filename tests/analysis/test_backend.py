@@ -1,0 +1,159 @@
+"""Property tests: numpy backend == pure-python fallback, bit for bit.
+
+Every batched reduction must produce identical doubles under both
+engines — sorting/searching/rank selection are exact, and all scalar
+reductions are fsum-funnelled (exactly rounded, order-free). These
+tests pin that contract over random samples including ties, n=1/2 and
+all-equal inputs, and also check the engine switch itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import backend
+from repro.analysis.boxstats import BoxStats
+from repro.analysis.ecdf import ECDF
+from repro.analysis.stats import paired_t_test
+from repro.errors import ConfigError
+
+needs_numpy = pytest.mark.skipif(not backend.numpy_available(),
+                                 reason="numpy not installed")
+
+# Finite floats with deliberately coarse granularity so ties and
+# all-equal samples are common; n=1 and n=2 sit at the minimum sizes.
+_value = st.one_of(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    st.sampled_from([0.0, -0.0, 1.0, 1.5, 2.0, 1e-300, 7.25]),
+)
+_samples = st.lists(_value, min_size=1, max_size=300)
+_pairs = st.lists(st.tuples(_value, _value), min_size=2, max_size=200)
+
+
+def _both_engines(fn):
+    with backend.use_engine("python"):
+        fallback = fn()
+    with backend.use_engine("numpy"):
+        vectorized = fn()
+    return fallback, vectorized
+
+
+# -- engine switch -----------------------------------------------------
+
+
+def test_engine_switch_round_trips():
+    before = backend.current_engine()
+    with backend.use_engine("python"):
+        assert backend.current_engine() == "python"
+    assert backend.current_engine() == before
+    with pytest.raises(ConfigError):
+        backend.set_engine("fortran")
+
+
+def test_auto_resolves_to_default():
+    with backend.use_engine("auto"):
+        assert backend.current_engine() == backend.default_engine()
+
+
+# -- cross-engine bit-equality ----------------------------------------
+
+
+@needs_numpy
+@given(_samples)
+@settings(max_examples=120, deadline=None)
+def test_sort_values_bit_equal(values):
+    fallback, vectorized = _both_engines(
+        lambda: backend.sort_values(values))
+    assert fallback == vectorized
+
+
+@needs_numpy
+@given(_samples)
+@settings(max_examples=120, deadline=None)
+def test_ecdf_bit_equal(values):
+    fallback, vectorized = _both_engines(
+        lambda: ECDF.from_values(values))
+    assert fallback == vectorized
+    queries = [min(values) - 1.0, min(values), max(values), 0.0]
+    with backend.use_engine("python"):
+        slow = fallback.evaluate_many(queries)
+    with backend.use_engine("numpy"):
+        fast = vectorized.evaluate_many(queries)
+    assert slow == fast
+    assert slow == [fallback.evaluate(q) for q in queries]
+
+
+@needs_numpy
+@given(_samples)
+@settings(max_examples=120, deadline=None)
+def test_boxstats_bit_equal(values):
+    fallback, vectorized = _both_engines(
+        lambda: BoxStats.from_values(values))
+    assert fallback == vectorized
+
+
+@needs_numpy
+@given(_pairs)
+@settings(max_examples=120, deadline=None)
+def test_paired_t_bit_equal(pairs):
+    a = [x for x, _ in pairs]
+    b = [y for _, y in pairs]
+    fallback, vectorized = _both_engines(lambda: paired_t_test(a, b))
+    assert fallback == vectorized
+
+
+@needs_numpy
+@given(st.lists(st.tuples(st.integers(min_value=-1, max_value=6), _value),
+                min_size=0, max_size=200))
+@settings(max_examples=120, deadline=None)
+def test_grouping_bit_equal(rows):
+    codes = [c for c, _ in rows]
+    values = [v for _, v in rows]
+    fallback, vectorized = _both_engines(
+        lambda: (backend.group_flat(codes, values, 7),
+                 backend.group_values(codes, values, 7),
+                 backend.group_means(codes, values, 7),
+                 backend.group_counts(codes, 7)))
+    assert fallback == vectorized
+    # Within-group record order is preserved in both engines.
+    flat, starts = fallback[0]
+    for g in range(7):
+        expected = [v for c, v in rows if c == g]
+        assert flat[starts[g]:starts[g + 1]] == expected
+
+
+# -- shared scalar kernels --------------------------------------------
+
+
+@given(_samples)
+@settings(max_examples=100, deadline=None)
+def test_nearest_rank_quantile_matches_ecdf(values):
+    xs = sorted(values)
+    for q in (0.1, 0.5, 0.9, 1.0):
+        assert backend.nearest_rank_quantile(xs, q) == \
+            ECDF.from_values(values).quantile(q)
+
+
+def test_nearest_rank_p90_does_not_over_index():
+    xs = list(range(1, 11))  # n=10: int(0.9 * 10) would report the max
+    assert backend.nearest_rank_quantile(xs, 0.9) == 9
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        backend.nearest_rank_quantile([1.0], 0.0)
+    with pytest.raises(ValueError):
+        backend.nearest_rank_quantile([], 0.5)
+    with pytest.raises(ValueError):
+        backend.mean([])
+
+
+def test_mean_sd_edge_cases():
+    assert backend.mean_sd([4.0]) == (4.0, 0.0)
+    mean, sd = backend.mean_sd([2.0, 4.0, 6.0])
+    assert mean == 4.0 and sd == 2.0
+    mean, sd = backend.mean_sd([3.0, 3.0, 3.0])
+    assert mean == 3.0 and sd == 0.0

@@ -1,14 +1,23 @@
 """Unit tests for paired t-tests against scipy's implementation."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from scipy import stats as sps
 
 from repro.analysis.stats import paired_t_test, summary
 from repro.simnet.rng import substream
 
+try:  # scipy is a test-only dependency; the no-numpy CI leg lacks it.
+    from scipy import stats as sps
+except ImportError:
+    sps = None
 
+needs_scipy = pytest.mark.skipif(sps is None, reason="scipy not installed")
+
+
+@needs_scipy
 def test_paired_t_test_matches_scipy():
     rng = substream(1, "t")
     a = [rng.gauss(10, 2) for _ in range(50)]
@@ -22,6 +31,7 @@ def test_paired_t_test_matches_scipy():
     assert ours.ci_high == pytest.approx(hi, rel=1e-6)
 
 
+@needs_scipy
 @given(st.lists(st.tuples(st.floats(min_value=-100, max_value=100),
                           st.floats(min_value=-100, max_value=100)),
                 min_size=3, max_size=60))
@@ -53,6 +63,39 @@ def test_zero_variance_differences():
     assert result.p == 0.0
     identical = paired_t_test([1.0, 2.0], [1.0, 2.0])
     assert identical.p == 1.0
+
+
+def test_degenerate_branch_is_flagged_with_point_ci():
+    """Regression: sd_diff=0 with a nonzero shift must be explicit.
+
+    The conventional p=0.0 stays, but only together with the
+    ``degenerate`` flag, t pinned at ±inf, and the CI collapsed to the
+    observed point difference.
+    """
+    result = paired_t_test([2.0, 3.0, 4.0], [1.0, 2.0, 3.0])
+    assert result.degenerate
+    assert result.t == math.inf
+    assert (result.ci_low, result.ci_high) == (1.0, 1.0)
+    assert result.p == 0.0
+    negative = paired_t_test([1.0, 2.0], [2.0, 3.0])
+    assert negative.t == -math.inf
+    assert (negative.ci_low, negative.ci_high) == (-1.0, -1.0)
+    identical = paired_t_test([1.0, 2.0], [1.0, 2.0])
+    assert identical.degenerate and identical.t == 0.0 and identical.p == 1.0
+    regular = paired_t_test([1.0, 2.0, 4.0], [0.5, 0.4, 0.3])
+    assert not regular.degenerate
+
+
+def test_describe_never_prints_p_zero():
+    """Exact-zero P values render as "<.001", never "P=0.000"."""
+    degenerate = paired_t_test([2.0, 3.0, 4.0], [1.0, 2.0, 3.0])
+    text = degenerate.describe()
+    assert "P=<.001" in text
+    assert "P=0.000" not in text
+    assert "t=inf" in text
+    negative = paired_t_test([1.0, 2.0], [2.0, 3.0]).describe()
+    assert "t=-inf" in negative
+    assert "95% CI [1.00, 1.00]" in text
 
 
 def test_significance_flag():

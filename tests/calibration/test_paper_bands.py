@@ -236,7 +236,7 @@ def test_ttfb_bands(curl_means):
     """Figure 6: most PTs deliver the first byte within 5s for >80% of
     sites; marionette exceeds 20s for ~40%; meek sits between 2.5-7.5s."""
     _, results = curl_means
-    ecdfs = ecdf_by_pt(results, value="ttfb_s")
+    ecdfs = ecdf_by_pt(results, value="ttfb_s", method=Method.CURL)
     # The paper's "more than 80%" claim, with tolerance for our smaller
     # sample (45 sites instead of 1000).
     for pt in ("tor", "obfs4", "cloak", "shadowsocks", "webtunnel",

@@ -117,3 +117,104 @@ def test_extend_accepts_resultset_and_iterable():
     rs.extend(ResultSet([rec(pt="a")]))
     rs.extend([rec(pt="b")])
     assert len(rs) == 3
+
+
+# -- columnar extraction ----------------------------------------------
+
+
+def test_values_by_pt_flat_and_slices():
+    rs = ResultSet([
+        rec(pt="tor", duration=1.0),
+        rec(pt="obfs4", duration=2.0),
+        rec(pt="tor", duration=3.0),
+    ])
+    grouped = rs.values_by("duration_s", by="pt")
+    assert grouped.labels == ("tor", "obfs4")
+    assert grouped.values == [1.0, 3.0, 2.0]
+    assert grouped.starts == (0, 2, 3)
+    assert grouped.group("tor") == [1.0, 3.0]
+    assert dict(grouped.items()) == {"tor": [1.0, 3.0], "obfs4": [2.0]}
+
+
+def test_values_by_respects_method_and_missing_values():
+    rs = ResultSet([
+        rec(pt="tor", ttfb=0.5, method=Method.CURL),
+        rec(pt="tor", ttfb=None, method=Method.CURL),
+        rec(pt="tor", ttfb=9.0, method=Method.SELENIUM),
+    ])
+    grouped = rs.values_by("ttfb_s", by="pt", method=Method.CURL)
+    assert grouped.group("tor") == [0.5]
+    by_method = rs.values_by("ttfb_s", by="method")
+    assert by_method.group("curl") == [0.5]
+    assert by_method.group("selenium") == [9.0]
+    by_target = rs.values_by("duration_s", by="target")
+    assert by_target.group("site0") == [1.0, 1.0, 1.0]
+    with pytest.raises(ValueError):
+        rs.values_by("duration_s", by="medium")
+
+
+def test_per_target_mean_table_matches_per_target_means():
+    rs = ResultSet([
+        rec(pt="tor", target="a", duration=1.0),
+        rec(pt="tor", target="a", duration=3.0),
+        rec(pt="tor", target="b", duration=5.0),
+        rec(pt="obfs4", target="b", duration=2.0),
+    ])
+    table = rs.per_target_mean_table("duration_s")
+    assert table == {"tor": {"a": 2.0, "b": 5.0}, "obfs4": {"b": 2.0}}
+    assert table["tor"] == rs.per_target_means("tor")
+
+
+def test_columns_cache_invalidated_on_append():
+    rs = ResultSet([rec(pt="tor", duration=1.0)])
+    assert rs.values_by("duration_s").group("tor") == [1.0]
+    rs.append(rec(pt="tor", duration=5.0))
+    assert rs.values_by("duration_s").group("tor") == [1.0, 5.0]
+    rs.extend([rec(pt="obfs4", duration=2.0)])
+    assert rs.values_by("duration_s").labels == ("tor", "obfs4")
+
+
+def test_pt_categories_and_inconsistency():
+    rs = ResultSet([rec(pt="tor"), rec(pt="dnstt", category="tunneling")])
+    assert rs.pt_categories() == {"tor": "baseline", "dnstt": "tunneling"}
+    rs.append(rec(pt="dnstt", category="mimicry"))
+    with pytest.raises(ValueError, match="inconsistent"):
+        rs.pt_categories()
+    # Lenient mode falls back to the first-seen category.
+    assert rs.pt_categories(strict=False)["dnstt"] == "tunneling"
+
+
+def test_retained_columnstore_is_a_snapshot():
+    """A store held across an append must stay internally consistent."""
+    rs = ResultSet([rec(pt="tor", ttfb=0.5)])
+    cols = rs.columns()
+    rs.append(rec(pt="tor", ttfb=1.5))
+    # The retained store reflects build time in every engine...
+    assert cols.grouped_values("ttfb_s", by="pt").group("tor") == [0.5]
+    # ...while the result set serves a rebuilt, current view.
+    assert rs.values_by("ttfb_s").group("tor") == [0.5, 1.5]
+
+
+def test_columnar_extraction_engine_equivalence():
+    """ResultSet reductions are bit-identical across backend engines."""
+    from repro.analysis import backend
+
+    if not backend.numpy_available():
+        pytest.skip("numpy not installed")
+    rs = ResultSet()
+    for i in range(60):
+        rs.append(rec(pt=f"pt{i % 4}", target=f"t{i % 7}",
+                      duration=1.0 + (i * 7919 % 13) / 3.0,
+                      ttfb=None if i % 5 == 0 else 0.1 * i,
+                      method=Method.CURL if i % 2 else Method.SELENIUM))
+    with backend.use_engine("python"):
+        table_py = rs.per_target_mean_table("duration_s", Method.CURL)
+        grouped_py = rs.values_by("ttfb_s", method=Method.CURL)
+        status_py = rs.columns().status_fractions_by_pt()
+    with backend.use_engine("numpy"):
+        table_np = rs.per_target_mean_table("duration_s", Method.CURL)
+        grouped_np = rs.values_by("ttfb_s", method=Method.CURL)
+        status_np = rs.columns().status_fractions_by_pt()
+    assert table_py == table_np
+    assert grouped_py == grouped_np
+    assert status_py == status_np
