@@ -26,7 +26,7 @@ from repro.analysis.ecdf import ECDF
 from repro.analysis.stats import paired_t_test
 from repro.analysis.tables import render_table, ttest_table
 from repro.core.config import Scale, WorldConfig
-from repro.core.world import World
+from repro.core.world import World, track_worlds
 from repro.errors import ConfigError
 from repro.measure.campaign import CampaignRunner
 from repro.measure.ethics import PacingPolicy
@@ -55,6 +55,11 @@ class ExperimentResult:
     metrics: dict[str, float]      # headline measured values
     paper: dict[str, float]        # the paper's corresponding values
     results: Optional[ResultSet] = None
+    #: Simulation perf counters summed over the worlds this run built
+    #: (see ``repro.simnet.perfcounters``), plus ``worlds``; filled by
+    #: ``run_experiment`` so experiment-mode parallel units can report
+    #: engine work the same way matrix-mode cells do.
+    perf: dict[str, float] = field(default_factory=dict)
 
     def comparison(self) -> str:
         """Paper-vs-measured table for the shared metric keys."""
@@ -97,14 +102,22 @@ def list_experiments() -> list[ExperimentDef]:
 
 def run_experiment(experiment_id: str, *, seed: int = 1,
                    scale: Optional[Scale] = None) -> ExperimentResult:
-    """Run one registered experiment."""
+    """Run one registered experiment.
+
+    The result's ``perf`` dict carries the simulation perf counters
+    summed over every world the experiment built in-process (worlds run
+    in worker processes report through their own units instead).
+    """
     try:
         definition = EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; known: {known}") from None
-    return definition.fn(seed, scale or Scale.small())
+    with track_worlds() as tracker:
+        result = definition.fn(seed, scale or Scale.small())
+    result.perf = tracker.summary()
+    return result
 
 
 def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,

@@ -8,8 +8,9 @@ examples and tests can also use the convenience fetch helpers directly.
 
 from __future__ import annotations
 
+import contextlib
 import random
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.errors import ConfigError
 from repro.core.config import WorldConfig
@@ -37,6 +38,71 @@ from repro.web.fetch import (
 from repro.web.page import FileSpec, PageSpec
 from repro.web.server import FileServer, OriginServer, ServerPool
 from repro.web.types import FetchResult
+
+
+class WorldTracker:
+    """Running perf aggregate over the worlds built in a tracking scope.
+
+    Worlds are driven sequentially by experiments (each is built, run,
+    and abandoned before the next is constructed), so the tracker banks
+    a world's ``perf_summary()`` into its running totals when the *next*
+    world registers — only one world is ever pinned in memory, instead
+    of every world an experiment loops over.
+    """
+
+    def __init__(self) -> None:
+        self.worlds = 0
+        self._totals: dict[str, float] = {}
+        self._last: Optional["World"] = None
+
+    def register(self, world: "World") -> None:
+        self._bank()
+        self._last = world
+        self.worlds += 1
+
+    def _bank(self) -> None:
+        if self._last is None:
+            return
+        last, self._last = self._last, None
+        for key, value in last.perf_summary().items():
+            self._totals[key] = self._totals.get(key, 0.0) + value
+
+    def summary(self) -> dict[str, float]:
+        """Counters summed across all registered worlds, plus ``worlds``.
+
+        ``flows_per_class`` is a ratio, not an additive counter: it is
+        recomputed from the summed totals rather than summed itself.
+        """
+        self._bank()
+        out = dict(self._totals)
+        out["worlds"] = float(self.worlds)
+        if out.get("classes_allocated"):
+            out["flows_per_class"] = (out["flows_allocated"]
+                                      / out["classes_allocated"])
+        return out
+
+
+# Active collector for :func:`track_worlds` (None = not tracking).
+_tracked_worlds: Optional[WorldTracker] = None
+
+
+@contextlib.contextmanager
+def track_worlds() -> Iterator[WorldTracker]:
+    """Aggregate perf over every :class:`World` built in the with-block.
+
+    Used by ``run_experiment`` to sum simulation perf counters across
+    however many worlds an experiment builds, without threading a
+    registry through every experiment function. Nested trackers shadow
+    the outer one (each collector owns the worlds built in its scope).
+    """
+    global _tracked_worlds
+    previous = _tracked_worlds
+    tracker = WorldTracker()
+    _tracked_worlds = tracker
+    try:
+        yield tracker
+    finally:
+        _tracked_worlds = previous
 
 
 class World:
@@ -72,6 +138,8 @@ class World:
             snowflake.set_surge(cfg.snowflake_surge)
 
         self._measurement_counter = 0
+        if _tracked_worlds is not None:
+            _tracked_worlds.register(self)
 
     # -- accessors -------------------------------------------------------
 

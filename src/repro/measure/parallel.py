@@ -137,8 +137,10 @@ def _run_unit(unit: WorkUnit) -> dict:
         result = run_experiment(spec.experiment_id, seed=unit.seed,
                                 scale=spec.scale)
         rows = result.results.to_rows() if result.results is not None else []
+        # PR 2 follow-up: experiment-mode units report the simulation
+        # perf counters of the worlds they built, like matrix cells do.
         return {"seed": unit.seed, "cell_index": unit.cell_index,
-                "rows": rows, "perf": {},
+                "rows": rows, "perf": result.perf,
                 "experiment": {"experiment_id": result.experiment_id,
                                "title": result.title, "text": result.text,
                                "metrics": result.metrics,
@@ -178,7 +180,8 @@ class UnitResult:
             title=self.experiment["title"], text=self.experiment["text"],
             metrics=self.experiment["metrics"],
             paper=self.experiment["paper"],
-            results=self.results if len(self.results) else None)
+            results=self.results if len(self.results) else None,
+            perf=dict(self.perf))
 
 
 @dataclass
@@ -203,6 +206,11 @@ class CampaignOutcome:
                 total[key] = total.get(key, 0.0) + float(value)
         total["units"] = float(len(self.units))
         total["workers"] = float(self.workers)
+        if total.get("classes_allocated"):
+            # A ratio, not an additive counter: recompute it from the
+            # summed totals instead of summing per-unit ratios.
+            total["flows_per_class"] = (total["flows_allocated"]
+                                        / total["classes_allocated"])
         return total
 
 

@@ -21,7 +21,7 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.simnet.kernel import EventKernel
+from repro.simnet.kernel import Event, EventKernel
 from repro.simnet.network import FluidNetwork
 from repro.simnet.resource import Resource
 from repro.simnet.rng import pareto
@@ -82,24 +82,36 @@ class PoissonBackground:
         self.active = 0
         self.generated = 0
         self._running = False
+        self._next_arrival: Event | None = None
 
     def start(self) -> None:
         """Begin generating arrivals."""
+        if self._running:
+            return  # one arrival chain only
         self._running = True
         self._schedule_next()
 
     def stop(self) -> None:
-        """Stop generating new arrivals (in-flight flows finish)."""
+        """Stop generating new arrivals (in-flight flows finish).
+
+        The already-scheduled next arrival is cancelled rather than left
+        to fire as a silent no-op, so ``kernel.pending`` drops and a
+        final ``kernel.run()`` does not wait out a dead event.
+        """
         self._running = False
+        if self._next_arrival is not None:
+            self._next_arrival.cancel()
+            self._next_arrival = None
 
     def _schedule_next(self) -> None:
         if not self._running:
             return
         gap = -math.log(1.0 - self.rng.random()) / self.lam
-        self.kernel.schedule(gap, self._arrive)
+        self._next_arrival = self.kernel.schedule(gap, self._arrive)
 
     def _arrive(self) -> None:
-        if not self._running:
+        self._next_arrival = None
+        if not self._running:  # pragma: no cover - stop() cancels instead
             return
         size = pareto(self.rng, self.pareto_shape, self.scale)
         self.generated += 1

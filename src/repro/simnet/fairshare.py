@@ -169,13 +169,23 @@ class FlowClass:
     The water-filling treats the class as a single aggregate of weight
     ``weight * len(members)``; when the class freezes, the per-flow rate
     (identical for every member) is fanned back out.
+
+    The class is also the unit of *byte-progress accounting*: every
+    member moves at the identical ``rate``, so ``service`` accumulates
+    the cumulative bytes one member delivered since the class was
+    created (maintained by the owning network's ``_advance_progress``
+    in O(classes), not O(flows)). A member joining at service level
+    ``s0`` with ``r`` bytes left completes exactly when ``service``
+    reaches ``s0 + r`` — its *finish service* — so ``finish_heap``
+    (entries ``(finish_service, fid, flow)``, lazily invalidated) yields
+    the class's next completion independent of how rates change.
     """
 
     __slots__ = ("key", "weight", "members", "res_mults", "frozen_epoch",
-                 "rate")
+                 "rate", "csn", "service", "finish_heap", "seen_rate")
 
     def __init__(self, key: tuple, weight: float,
-                 res_mults: list[tuple[int, int]]) -> None:
+                 res_mults: list[tuple[int, int]], csn: int = 0) -> None:
         self.key = key
         self.weight = weight
         self.members: set[Flow] = set()
@@ -185,6 +195,53 @@ class FlowClass:
         self.res_mults = res_mults
         self.frozen_epoch = -1
         self.rate = 0.0
+        # Deterministic creation serial: the run-stable tiebreak for
+        # class-keyed heaps (classes hash by identity, which varies
+        # between processes).
+        self.csn = csn
+        self.service = 0.0
+        self.finish_heap: list[tuple[float, int, Flow]] = []
+        # Last rate fanned out by the owning network (change detection).
+        self.seen_rate = -1.0
+
+    def _entry_stale(self, finish: float, flow: Flow) -> bool:
+        """A heap entry is stale when its member left the class, or its
+        threshold was rebased by a ``remaining`` write and no longer
+        matches ``_service_offset + _remaining``."""
+        return (flow._acct is not self
+                or flow._service_offset + flow._remaining != finish)
+
+    def next_finish_service(self) -> float:
+        """Smallest live member finish-service level (inf if none)."""
+        heap = self.finish_heap
+        while heap:
+            finish, _fid, flow = heap[0]
+            if self._entry_stale(finish, flow):
+                heapq.heappop(heap)
+                continue
+            return finish
+        return float("inf")
+
+    def pop_finished(self, slack: float) -> list[Flow]:
+        """Pop every member within ``slack`` bytes of completion.
+
+        Members come off the finish heap in (finish service, fid) order;
+        stale entries are dropped along the way.
+        """
+        done: list[Flow] = []
+        heap = self.finish_heap
+        service = self.service
+        while heap:
+            finish, _fid, flow = heap[0]
+            if self._entry_stale(finish, flow):
+                heapq.heappop(heap)
+                continue
+            if finish - service <= slack:
+                heapq.heappop(heap)
+                done.append(flow)
+                continue
+            break
+        return done
 
 
 class FairShareAllocator:
@@ -195,12 +252,30 @@ class FairShareAllocator:
     :meth:`allocate` never rebuilds state from the flow population. All
     internal maps are keyed by integer resource ids to stay off the
     Python-level ``Resource.__hash__``.
+
+    With ``track_progress=True`` (how a
+    :class:`~repro.simnet.network.FluidNetwork` builds its allocator),
+    membership mutations also bind/unbind flows to their class's service
+    accumulator: joins record the class service offset and register the
+    member's finish threshold, leaves force-materialize the member's
+    byte progress back into the flow.
+
+    With ``warm_start=True`` (the default), :meth:`allocate` remembers
+    the freeze order and share levels of the previous solution and
+    replays every round the membership/load delta since then provably
+    did not invalidate, re-running only the suffix from the first
+    invalidated round. Replay applies bit-identical arithmetic in
+    bit-identical order, so warm and cold solutions are float-equal.
     """
 
     __slots__ = ("_classes", "_class_of", "_resources", "_total_weight",
-                 "_classes_at", "_epoch", "_n_flows")
+                 "_classes_at", "_epoch", "_n_flows", "_track_progress",
+                 "_warm", "counters", "_csn", "_rounds", "_dirty_classes",
+                 "_bg_seen")
 
-    def __init__(self) -> None:
+    def __init__(self, *, track_progress: bool = False,
+                 warm_start: bool = True,
+                 counters: Optional[PerfCounters] = None) -> None:
         self._classes: dict[tuple, FlowClass] = {}
         self._class_of: dict[Flow, FlowClass] = {}
         self._resources: dict[int, Resource] = {}
@@ -210,6 +285,18 @@ class FairShareAllocator:
         self._classes_at: dict[int, dict[FlowClass, None]] = {}
         self._epoch = 0
         self._n_flows = 0
+        self._track_progress = track_progress
+        self._warm = warm_start
+        self.counters = counters
+        self._csn = 0
+        # Previous solution: rounds of (rid, share, frozen classes) in
+        # freeze order; None when no reusable solution exists. Dirty
+        # classes (membership changed since the last allocate) are only
+        # tracked while a previous solution is held.
+        self._rounds: Optional[list[tuple[int, float,
+                                          tuple[FlowClass, ...]]]] = None
+        self._dirty_classes: set[FlowClass] = set()
+        self._bg_seen: dict[int, float] = {}
 
     def __len__(self) -> int:
         return self._n_flows
@@ -218,10 +305,17 @@ class FairShareAllocator:
     def n_classes(self) -> int:
         return len(self._classes)
 
+    def classes(self) -> Iterable[FlowClass]:
+        """Live flow classes (the O(C) iteration unit for accounting)."""
+        return self._classes.values()
+
+    def class_of(self, flow: Flow) -> Optional[FlowClass]:
+        return self._class_of.get(flow)
+
     # -- membership -----------------------------------------------------
 
-    def add_flow(self, flow: Flow) -> None:
-        """Register an active flow (O(path) amortized)."""
+    def add_flow(self, flow: Flow) -> FlowClass:
+        """Register an active flow (O(path) amortized); returns its class."""
         path = flow.path
         if len(path) == 1:  # single-hop signature: skip the tuple build
             key = (path[0].rid, flow.weight)
@@ -237,8 +331,10 @@ class FairShareAllocator:
                     self._resources[rid] = res
                     self._total_weight[rid] = 0.0
                     self._classes_at[rid] = {}
+            self._csn += 1
             cls = self._classes[key] = FlowClass(key, flow.weight,
-                                                list(mults.items()))
+                                                 list(mults.items()),
+                                                 csn=self._csn)
             for rid, _mult in cls.res_mults:
                 self._classes_at[rid][cls] = None
         cls.members.add(flow)
@@ -247,18 +343,41 @@ class FairShareAllocator:
         weight = cls.weight
         for rid, _mult in cls.res_mults:
             self._total_weight[rid] += weight
+        if self._rounds is not None:
+            self._dirty_classes.add(cls)
+        if self._track_progress:
+            flow._acct = cls
+            flow._service_offset = cls.service
+            heapq.heappush(cls.finish_heap,
+                           (cls.service + flow._remaining, flow.fid, flow))
+        return cls
 
-    def remove_flow(self, flow: Flow) -> None:
-        """Deregister a flow previously added (O(path) amortized)."""
+    def remove_flow(self, flow: Flow) -> tuple[Optional[FlowClass], bool]:
+        """Deregister a previously added flow (O(path) amortized).
+
+        Returns ``(cls, died)``: the flow's class and whether this
+        removal destroyed it (so the owner can drop per-class state).
+        """
         cls = self._class_of.pop(flow, None)
         if cls is None:
-            return
+            return None, False
+        if self._track_progress and flow._acct is cls:
+            # Forced materialization: the flow leaves the service
+            # stream, so bank its progress into the plain fields.
+            flow._remaining = flow.remaining
+            flow._rate_bps = cls.rate
+            flow._acct = None
+            if self.counters is not None:
+                self.counters.lazy_materializations += 1
         cls.members.discard(flow)
         self._n_flows -= 1
+        if self._rounds is not None:
+            self._dirty_classes.add(cls)
         weight = cls.weight
         for rid, _mult in cls.res_mults:
             self._total_weight[rid] -= weight
-        if not cls.members:
+        died = not cls.members
+        if died:
             del self._classes[cls.key]
             for rid, _mult in cls.res_mults:
                 at = self._classes_at[rid]
@@ -269,23 +388,80 @@ class FairShareAllocator:
                     del self._classes_at[rid]
                     del self._resources[rid]
                     del self._total_weight[rid]
+        return cls, died
 
     # -- allocation -----------------------------------------------------
+
+    def _min_dirty_share(self, dirty_rids: Iterable[int],
+                         residual: dict[int, float],
+                         live_weight: dict[int, float],
+                         live_count: dict[int, int],
+                         ) -> Optional[tuple[float, int]]:
+        """Smallest ``(share, rid)`` a *dirty* resource currently offers.
+
+        Used during warm-start replay: a recorded round stays valid only
+        while every dirty resource would still be popped after it.
+        """
+        resources = self._resources
+        best: Optional[tuple[float, int]] = None
+        for rid in dirty_rids:
+            if live_count.get(rid, 0) == 0:
+                continue  # exhausted, or resource dropped entirely
+            res = resources.get(rid)
+            if res is None:
+                continue
+            share = residual[rid] / (live_weight[rid] + res.background_load)
+            key = (share, rid)
+            if best is None or key < best:
+                best = key
+        return best
+
+    def _dirty_resources(self) -> set[int]:
+        """Resource ids the delta since the last allocate touched:
+        every resource on a dirty class's path, plus every resource
+        whose background load moved."""
+        dirty_rids: set[int] = set()
+        for dirty in self._dirty_classes:
+            for rid, _mult in dirty.res_mults:
+                dirty_rids.add(rid)
+        bg_seen = self._bg_seen
+        for rid, res in self._resources.items():
+            if bg_seen.get(rid) != res.background_load:
+                dirty_rids.add(rid)
+        return dirty_rids
+
+    def _reset_warm_state(self) -> None:
+        """Drop the recorded solution (fast paths, empty populations)."""
+        self._rounds = None
+        self._dirty_classes.clear()
 
     def allocate(self, counters: Optional[PerfCounters] = None,
                  ) -> Iterable[FlowClass]:
         """Run one water-filling pass; returns the classes with their
-        per-member ``rate`` set. O(C log R) plus heap bookkeeping."""
+        per-member ``rate`` set.
+
+        Cold cost is O(C log R) plus heap bookkeeping. When a previous
+        solution exists, the prefix of rounds not invalidated by the
+        membership/background-load delta since then is *replayed*
+        (identical arithmetic, no bottleneck search) and only the suffix
+        is recomputed — consecutive reallocations usually differ by one
+        class join/leave, so most rounds replay.
+        """
+        if counters is None:
+            counters = self.counters
         self._epoch += 1
         epoch = self._epoch
         classes = self._classes
         if not classes:
+            self._reset_warm_state()
             return ()
 
         # Fast paths for the two dominant small shapes. One class (a
         # campaign's lone foreground transfer): its bottleneck is just
         # the min share across its path. One resource (ablation-style
-        # single-pipe churn): every class freezes in round one.
+        # single-pipe churn): every class freezes in round one. Both
+        # are already O(C): recording rounds for them would cost more
+        # than it saves, so they invalidate the warm state instead.
         if len(classes) == 1:
             (cls,) = classes.values()
             share = float("inf")
@@ -297,6 +473,7 @@ class FairShareAllocator:
                     share = s
             cls.rate = share * cls.weight
             cls.frozen_epoch = epoch
+            self._reset_warm_state()
             if counters is not None:
                 counters.reallocations += 1
                 counters.waterfill_rounds += 1
@@ -310,6 +487,7 @@ class FairShareAllocator:
             for cls in classes.values():
                 cls.rate = share * cls.weight
                 cls.frozen_epoch = epoch
+            self._reset_warm_state()
             if counters is not None:
                 counters.reallocations += 1
                 counters.waterfill_rounds += 1
@@ -317,66 +495,233 @@ class FairShareAllocator:
                 counters.classes_allocated += len(classes)
             return classes.values()
 
+        # -- warm-start: full hit ---------------------------------------
+        prev = self._rounds if self._warm else None
+        dirty_rids: set[int] = set()
+        if prev:
+            dirty_rids = self._dirty_resources()
+            if not dirty_rids:
+                # Nothing changed since the previous solution: every
+                # round replays verbatim, and every class already holds
+                # its rate — O(1), no arithmetic at all.
+                if counters is not None:
+                    counters.reallocations += 1
+                    counters.flows_allocated += self._n_flows
+                    counters.classes_allocated += len(classes)
+                    counters.warm_start_hits += 1
+                    counters.rounds_replayed += len(prev)
+                return classes.values()
+
         residual: dict[int, float] = {}
         live_weight: dict[int, float] = {}
         live_count: dict[int, int] = {}
-        heap: list[tuple[float, int]] = []
-        latest: dict[int, float] = {}
         resources = self._resources
         classes_at = self._classes_at
-        for rid, res in resources.items():
-            cap = res.capacity_bps
-            weight = self._total_weight[rid]
-            residual[rid] = cap
-            live_weight[rid] = weight
-            live_count[rid] = len(classes_at[rid])
-            share = cap / (weight + res.background_load)
-            latest[rid] = share
-            heap.append((share, rid))
-        heapq.heapify(heap)
+        total_weight = self._total_weight
 
         unfrozen = len(classes)
         rounds = 0
+        replayed = 0
+        new_rounds: list[tuple[int, float, tuple[FlowClass, ...]]] = []
 
-        while unfrozen and heap:
-            share, rid = heapq.heappop(heap)
-            if latest.get(rid) != share or live_count[rid] == 0:
-                continue  # stale entry or exhausted resource
-            del latest[rid]
-            rounds += 1
+        # Throughout, ``x if x > 0.0 else 0.0`` is the inlined (and
+        # bit-identical) form of ``max(0.0, x)`` — the clamps sit on the
+        # hottest arithmetic in the engine.
 
-            touched: dict[int, None] = {}
-            for cls in classes_at[rid]:
-                if cls.frozen_epoch == epoch:
+        # -- warm-start replay ------------------------------------------
+        # Replay is *lazy*: per-resource aggregates start out only for
+        # the dirty resources, a replayed round only re-freezes its
+        # classes (epoch + rate) and charges those dirty resources,
+        # whose evolving shares the validity check needs. Clean
+        # resources are not charged round-by-round; the ones still live
+        # at the first invalidated round are reconstructed afterwards by
+        # re-walking the accepted prefix restricted to them — identical
+        # operations in identical order, so the state is bit-equal to an
+        # eager replay (and to a cold run).
+        if prev:
+            for rid in dirty_rids:
+                res = resources.get(rid)
+                if res is None:
+                    continue  # resource left with its last class
+                residual[rid] = res.capacity_bps
+                live_weight[rid] = total_weight[rid]
+                live_count[rid] = len(classes_at[rid])
+            dirty_classes = self._dirty_classes
+            clean = dirty_classes.isdisjoint
+            dirty_adjacent: set[FlowClass] = set()
+            for rid in dirty_rids:
+                at = classes_at.get(rid)
+                if at:
+                    dirty_adjacent.update(at)
+            # `dirty_best` is a *lower bound* on the smallest (share,
+            # rid) a live dirty resource offers: charges refresh only
+            # the charged resource's share and fold it in with min().
+            # A share that rises past the stored bound leaves the bound
+            # stale-low, which can only end replay early — the cold
+            # continuation then recomputes the same rounds and stays
+            # bit-identical — never replay an invalid round.
+            dirty_best = self._min_dirty_share(
+                dirty_rids, residual, live_weight, live_count)
+            for rid, share, frozen in prev:
+                # A round replays only if (a) its bottleneck's own
+                # aggregates are untouched, (b) every class it froze is
+                # untouched (member counts feed the residual charges),
+                # and (c) no dirty resource would now be popped first.
+                if rid in dirty_rids or not clean(frozen):
+                    break
+                if dirty_best is not None and dirty_best < (share, rid):
+                    break
+                replayed += 1
+                for cls in frozen:
+                    cls.frozen_epoch = epoch
+                    cls.rate = share * cls.weight
+                    unfrozen -= 1
+                    if cls in dirty_adjacent:
+                        n = len(cls.members)
+                        agg_weight = cls.weight * n
+                        agg_rate = cls.rate * n
+                        for rid2, mult in cls.res_mults:
+                            if rid2 in dirty_rids:
+                                value = residual[rid2] - agg_rate * mult
+                                residual[rid2] = value if value > 0.0 else 0.0
+                                value = live_weight[rid2] - agg_weight
+                                live_weight[rid2] = \
+                                    value if value > 0.0 else 0.0
+                                live_count[rid2] -= 1
+                                if live_count[rid2] > 0:
+                                    fresh = residual[rid2] / (
+                                        live_weight[rid2]
+                                        + resources[rid2].background_load)
+                                    key = (fresh, rid2)
+                                    if dirty_best is None or key < dirty_best:
+                                        dirty_best = key
+            if replayed:
+                new_rounds = prev[:replayed]
+                if unfrozen:
+                    # Reconstruct the clean resources the continuation
+                    # can still see (those with a live class).
+                    live_rids: set[int] = set()
+                    for cls in classes.values():
+                        if cls.frozen_epoch != epoch:
+                            for rid2, _mult in cls.res_mults:
+                                live_rids.add(rid2)
+                    recharge = live_rids - dirty_rids
+                    for rid2 in recharge:
+                        res = resources[rid2]
+                        residual[rid2] = res.capacity_bps
+                        live_weight[rid2] = total_weight[rid2]
+                        live_count[rid2] = len(classes_at[rid2])
+                    if recharge:
+                        for _rid, share, frozen in new_rounds:
+                            for cls in frozen:
+                                n = len(cls.members)
+                                agg_weight = cls.weight * n
+                                agg_rate = (share * cls.weight) * n
+                                for rid2, mult in cls.res_mults:
+                                    if rid2 in recharge:
+                                        value = (residual[rid2]
+                                                 - agg_rate * mult)
+                                        residual[rid2] = \
+                                            value if value > 0.0 else 0.0
+                                        value = live_weight[rid2] - agg_weight
+                                        live_weight[rid2] = \
+                                            value if value > 0.0 else 0.0
+                                        live_count[rid2] -= 1
+
+        # -- cold continuation from the first invalidated round ---------
+        if unfrozen:
+            if not replayed:
+                # Clean-slate run (no previous solution, or it was
+                # invalidated outright): build aggregates for every
+                # registered resource.
+                for rid, res in resources.items():
+                    residual[rid] = res.capacity_bps
+                    live_weight[rid] = total_weight[rid]
+                    live_count[rid] = len(classes_at[rid])
+                candidates: Iterable[int] = resources.keys()
+            else:
+                # After a lazy replay only the dirty + reconstructed
+                # live resources hold correct aggregates — exactly the
+                # ones a continuation can still pop. Pop order is
+                # governed by the unique (share, rid) keys, so the
+                # source's iteration order does not affect the outcome.
+                candidates = live_rids
+            heap: list[tuple[float, int]] = []
+            latest: dict[int, float] = {}
+            for rid in candidates:
+                if live_count[rid] == 0:
                     continue
-                cls.frozen_epoch = epoch
-                rate = share * cls.weight
-                cls.rate = rate
-                unfrozen -= 1
-                n = len(cls.members)
-                agg_weight = cls.weight * n
-                agg_rate = rate * n
-                for rid2, mult in cls.res_mults:
-                    residual[rid2] = max(0.0, residual[rid2] - agg_rate * mult)
-                    live_weight[rid2] = max(0.0, live_weight[rid2] - agg_weight)
-                    live_count[rid2] -= 1
-                    if rid2 != rid:
-                        touched[rid2] = None
+                share = residual[rid] / (live_weight[rid]
+                                         + resources[rid].background_load)
+                latest[rid] = share
+                heap.append((share, rid))
+            heapq.heapify(heap)
 
-            for rid2 in touched:
-                if live_count[rid2] == 0:
-                    latest.pop(rid2, None)
-                    continue
-                fresh = residual[rid2] / (
-                    live_weight[rid2] + resources[rid2].background_load)
-                latest[rid2] = fresh
-                heapq.heappush(heap, (fresh, rid2))
+            while unfrozen and heap:
+                share, rid = heapq.heappop(heap)
+                if latest.get(rid) != share or live_count[rid] == 0:
+                    continue  # stale entry or exhausted resource
+                del latest[rid]
+                rounds += 1
 
+                frozen_now: list[FlowClass] = []
+                touched: dict[int, None] = {}
+                for cls in classes_at[rid]:
+                    if cls.frozen_epoch == epoch:
+                        continue
+                    cls.frozen_epoch = epoch
+                    rate = share * cls.weight
+                    cls.rate = rate
+                    unfrozen -= 1
+                    frozen_now.append(cls)
+                    n = len(cls.members)
+                    agg_weight = cls.weight * n
+                    agg_rate = rate * n
+                    for rid2, mult in cls.res_mults:
+                        value = residual[rid2] - agg_rate * mult
+                        residual[rid2] = value if value > 0.0 else 0.0
+                        value = live_weight[rid2] - agg_weight
+                        live_weight[rid2] = value if value > 0.0 else 0.0
+                        live_count[rid2] -= 1
+                        if rid2 != rid:
+                            touched[rid2] = None
+                new_rounds.append((rid, share, tuple(frozen_now)))
+
+                for rid2 in touched:
+                    if live_count[rid2] == 0:
+                        latest.pop(rid2, None)
+                        continue
+                    fresh = residual[rid2] / (
+                        live_weight[rid2] + resources[rid2].background_load)
+                    latest[rid2] = fresh
+                    heapq.heappush(heap, (fresh, rid2))
+
+        if self._warm:
+            self._rounds = new_rounds
+            self._dirty_classes.clear()
+            if prev:
+                # Incremental snapshot: only dirty resources can have a
+                # background load the recorded one no longer matches.
+                bg_seen = self._bg_seen
+                for rid in dirty_rids:
+                    res = resources.get(rid)
+                    if res is not None:
+                        bg_seen[rid] = res.background_load
+                if len(bg_seen) > 2 * len(resources) + 16:
+                    # Stale entries for long-gone resources: compact.
+                    self._bg_seen = {rid: res.background_load
+                                     for rid, res in resources.items()}
+            else:
+                self._bg_seen = {rid: res.background_load
+                                 for rid, res in resources.items()}
         if counters is not None:
             counters.reallocations += 1
             counters.waterfill_rounds += rounds
             counters.flows_allocated += self._n_flows
             counters.classes_allocated += len(classes)
+            if replayed:
+                counters.warm_start_hits += 1
+                counters.rounds_replayed += replayed
         return classes.values()
 
 

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.fairshare import FlowClass
     from repro.simnet.resource import Resource
 
 _flow_ids = itertools.count(1)
@@ -28,11 +30,23 @@ class Flow:
     The fluid network assigns each active flow a rate; the flow completes
     when its remaining volume reaches zero. ``on_complete``/``on_abort``
     callbacks receive the flow itself.
+
+    Byte progress is accounted per flow *class*, not per flow: while a
+    flow is bound to a :class:`~repro.simnet.fairshare.FlowClass`
+    (``_acct``), every member progresses at the identical class rate, so
+    the class keeps one cumulative per-member *service* total (bytes a
+    member delivered since the class was created) and the flow only
+    stores the service level observed when it joined
+    (``_service_offset``). ``remaining``/``bytes_done``/``rate_bps`` are
+    materialized lazily from those two numbers on read; an unbound flow
+    (not registered with a progress-tracking allocator) falls back to
+    its own plain fields.
     """
 
-    __slots__ = ("fid", "path", "size_bytes", "remaining", "weight", "rate_bps",
-                 "state", "started_at", "finished_at", "on_complete", "on_abort",
-                 "abort_reason")
+    __slots__ = ("fid", "path", "size_bytes", "_remaining", "weight",
+                 "_rate_bps", "state", "started_at", "finished_at",
+                 "on_complete", "on_abort", "abort_reason",
+                 "_acct", "_service_offset")
 
     def __init__(self, path: tuple["Resource", ...], size_bytes: float, *,
                  weight: float = 1.0,
@@ -47,15 +61,50 @@ class Flow:
         self.fid = next(_flow_ids)
         self.path = tuple(path)
         self.size_bytes = float(size_bytes)
-        self.remaining = float(size_bytes)
+        self._remaining = float(size_bytes)
         self.weight = float(weight)
-        self.rate_bps = 0.0
+        self._rate_bps = 0.0
         self.state = FlowState.ACTIVE
         self.started_at: float = 0.0
         self.finished_at: float | None = None
         self.on_complete = on_complete
         self.on_abort = on_abort
         self.abort_reason: str | None = None
+        self._acct: Optional["FlowClass"] = None
+        self._service_offset = 0.0
+
+    # -- lazily materialized progress -----------------------------------
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left to deliver (lazily materialized while class-bound)."""
+        cls = self._acct
+        if cls is None:
+            return self._remaining
+        left = self._remaining - (cls.service - self._service_offset)
+        return left if left > 0.0 else 0.0
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        cls = self._acct
+        self._remaining = value
+        if cls is not None:
+            # Rebase against the current class service so a read returns
+            # exactly ``value`` now, and re-register the completion
+            # threshold (the old finish-heap entry goes stale).
+            self._service_offset = cls.service
+            heapq.heappush(cls.finish_heap,
+                           (cls.service + value, self.fid, self))
+
+    @property
+    def rate_bps(self) -> float:
+        """Current assigned rate: the class rate while bound."""
+        cls = self._acct
+        return cls.rate if cls is not None else self._rate_bps
+
+    @rate_bps.setter
+    def rate_bps(self, value: float) -> None:
+        self._rate_bps = value
 
     @property
     def bytes_done(self) -> float:

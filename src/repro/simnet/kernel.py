@@ -133,7 +133,12 @@ class EventKernel:
 
         When ``until`` is given, ``now`` is advanced to ``until`` even if
         the heap drained earlier, so follow-up scheduling is relative to
-        the requested horizon.
+        the requested horizon. If the ``max_events`` budget halts the run
+        first, ``now`` is advanced as far as it can go without passing
+        the next unfired event (that event is at or before ``until``, or
+        the horizon check would have exited instead) — callers resuming
+        with ``run(until=kernel.now + dt, max_events=...)`` chunks see
+        time move rather than a clock stuck at the last fired event.
         """
         fired = 0
         while self._heap:
@@ -143,6 +148,8 @@ class EventKernel:
             if until is not None and nxt.time > until:
                 break
             if max_events is not None and fired >= max_events:
+                if until is not None and nxt.time > self.now:
+                    self.now = nxt.time
                 return
             self.step()
             fired += 1

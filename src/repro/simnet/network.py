@@ -10,11 +10,22 @@ one per flow. Between recomputations every flow progresses linearly at
 its assigned rate, so progress accounting stays exact: no simulated time
 can pass between a mutation and its same-instant drain.
 
-Completion scheduling is incremental as well: each flow's projected
-completion time is pushed into a lazy min-ETA heap when its rate is
-assigned. A flow's absolute ETA only changes when its *rate* changes, so
-a reallocation that leaves most rates untouched (disjoint paths, the
-common campaign case) does no per-flow rescan.
+Progress and completion are accounted per *flow class*, not per flow.
+Every member of a :class:`~repro.simnet.fairshare.FlowClass` moves at
+the identical class rate, so advancing time credits one cumulative
+``service`` total per class (O(classes) per event, however many flows
+each class collapses); per-flow ``remaining``/``bytes_done`` are
+materialized lazily from the class service on read, at completion, and
+when a flow leaves its class. A member's completion is a fixed *finish
+service* level — independent of how rates change — kept in a per-class
+heap, so the class's next completion is O(1) to query.
+
+Completion scheduling is incremental as well: each class's projected
+next-completion time is pushed into a lazy min-ETA heap when its rate is
+assigned. A class's absolute ETA only changes when its *rate* or its
+membership changes, so a reallocation that leaves most classes untouched
+(disjoint paths, the common campaign case) does no per-class rescan —
+and never any per-flow one.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from typing import Callable, Iterable, Optional
 from repro.errors import SimulationError
 from repro.simnet.fairshare import (
     FairShareAllocator,
+    FlowClass,
     compute_fair_rates_reference,
     current_engine,
 )
@@ -48,21 +60,26 @@ class FluidNetwork:
                  counters: Optional[PerfCounters] = None) -> None:
         self.kernel = kernel
         self.counters = counters if counters is not None else PerfCounters()
-        self._allocator = FairShareAllocator()
+        self._allocator = FairShareAllocator(track_progress=True,
+                                             counters=self.counters)
         self._flows: set[Flow] = set()
         self._last_update = kernel.now
         self._completion_event: Optional[Event] = None
         self._dirty = False
         self._drain_event: Optional[Event] = None
-        # `_eta_of` (flow -> projected absolute completion time) is the
+        # Classes whose membership changed since the last reallocation:
+        # their min finish service (and hence ETA) may have moved even
+        # if their rate did not.
+        self._touched_classes: set[FlowClass] = set()
+        # `_eta_of` (class -> projected next completion time) is the
         # source of truth. `_eta_heap` is a lazy accelerator over it:
-        # (eta, fid, flow) entries with stale ones skipped on pop. A
+        # (eta, csn, cls) entries with stale ones skipped on pop. A
         # mass rate change just marks the heap stale (O(1)); it is only
         # rebuilt when the population is large enough for a heap to beat
         # a direct min() scan.
-        self._eta_heap: list[tuple[float, int, Flow]] = []
+        self._eta_heap: list[tuple[float, int, FlowClass]] = []
         self._eta_heap_stale = False
-        self._eta_of: dict[Flow, float] = {}
+        self._eta_of: dict[FlowClass, float] = {}
         # Drain coalesced mutations at event boundaries with no extra
         # same-instant events; the scheduled drain is only the fallback
         # for mutations made outside the event loop.
@@ -88,7 +105,7 @@ class FluidNetwork:
             return flow
         self._advance_progress()
         self._flows.add(flow)
-        self._allocator.add_flow(flow)
+        self._touched_classes.add(self._allocator.add_flow(flow))
         self._mark_dirty()
         return flow
 
@@ -121,15 +138,21 @@ class FluidNetwork:
     # -- internals -----------------------------------------------------
 
     def _advance_progress(self) -> None:
-        """Credit every active flow with bytes since the last update."""
+        """Credit elapsed time to every class's service accumulator.
+
+        O(classes): each member of a class delivered exactly
+        ``rate * dt`` bytes, so one accumulator per class carries the
+        progress of all its members.
+        """
         now = self.kernel.now
         dt = now - self._last_update
         if dt < 0:  # pragma: no cover - defensive
             raise SimulationError("time went backwards in FluidNetwork")
         if dt > 0:
-            for flow in self._flows:
-                remaining = flow.remaining - flow.rate_bps * dt
-                flow.remaining = remaining if remaining > 0.0 else 0.0
+            for cls in self._allocator.classes():
+                rate = cls.rate
+                if rate > 0.0:
+                    cls.service += rate * dt
         self._last_update = now
 
     def _mark_dirty(self) -> None:
@@ -168,71 +191,100 @@ class FluidNetwork:
 
     def _remove_flow(self, flow: Flow) -> None:
         self._flows.discard(flow)
-        self._allocator.remove_flow(flow)
-        self._eta_of.pop(flow, None)
+        cls, died = self._allocator.remove_flow(flow)
+        if cls is not None:
+            if died:
+                self._eta_of.pop(cls, None)
+            else:
+                self._touched_classes.add(cls)
 
     def _reallocate(self) -> None:
         """Recompute fair rates and schedule the next completion."""
         if not self._flows:
             # No-op guard: nothing to allocate or to complete.
             self.counters.noop_skips += 1
+            self._touched_classes.clear()
             if self._completion_event is not None:
                 self._completion_event.cancel()
                 self._completion_event = None
             return
         now = self.kernel.now
         eta_of = self._eta_of
-        changed: list[Flow] = []
+        allocator = self._allocator
         if current_engine() == "reference":
+            # Oracle path: rates come from the from-scratch loop, but
+            # accounting stays per-class (members of a class share one
+            # (path, weight) signature, so the reference engine gives
+            # them bit-identical rates — any member's rate is the
+            # class rate).
             rates = compute_fair_rates_reference(self._flows,
                                                  counters=self.counters)
-            for flow in self._flows:
-                new_rate = rates.get(flow, 0.0)
-                if new_rate != flow.rate_bps or flow not in eta_of:
-                    flow.rate_bps = new_rate
-                    changed.append(flow)
+            classes: Iterable[FlowClass] = allocator.classes()
+            for cls in classes:
+                cls.rate = rates.get(next(iter(cls.members)), 0.0)
         else:
-            for cls in self._allocator.allocate(self.counters):
-                rate = cls.rate
-                for flow in cls.members:
-                    if rate != flow.rate_bps or flow not in eta_of:
-                        flow.rate_bps = rate
-                        changed.append(flow)
+            classes = allocator.allocate(self.counters)
+        touched = self._touched_classes
+        changed: list[FlowClass] = []
+        for cls in classes:
+            rate = cls.rate
+            if rate != cls.seen_rate or cls in touched or cls not in eta_of:
+                cls.seen_rate = rate
+                changed.append(cls)
+        touched.clear()
         if changed:
             self.counters.eta_refreshes += len(changed)
             # `_eta_of` never stores inf (same invariant as _set_eta):
-            # a stalled flow simply has no projected completion.
-            if self._eta_heap_stale or 2 * len(changed) >= len(self._flows):
+            # a stalled class simply has no projected completion.
+            if self._eta_heap_stale or \
+                    2 * len(changed) >= allocator.n_classes:
                 # Most rates moved (shared-bottleneck epoch) or the
                 # heap is already invalid: update the dict and leave the
-                # heap stale instead of paying F pushes.
+                # heap stale instead of paying C pushes.
                 self._eta_heap_stale = True
-                for flow in changed:
-                    eta = flow.eta(now)
+                for cls in changed:
+                    eta = self._class_eta(cls, now)
                     if eta != _INF:
-                        eta_of[flow] = eta
+                        eta_of[cls] = eta
                     else:
-                        eta_of.pop(flow, None)
+                        eta_of.pop(cls, None)
             else:
-                for flow in changed:
-                    eta = flow.eta(now)
+                for cls in changed:
+                    eta = self._class_eta(cls, now)
                     if eta != _INF:
-                        eta_of[flow] = eta
+                        eta_of[cls] = eta
                         heapq.heappush(self._eta_heap,
-                                       (eta, flow.fid, flow))
+                                       (eta, cls.csn, cls))
                     else:
-                        eta_of.pop(flow, None)
+                        eta_of.pop(cls, None)
         self._schedule_next_completion()
 
     # -- completion scheduling ------------------------------------------
 
-    def _set_eta(self, flow: Flow, eta: float) -> None:
-        """Record a flow's projected absolute completion time."""
-        if eta == float("inf"):
-            self._eta_of.pop(flow, None)
+    def _class_eta(self, cls: FlowClass, now: float) -> float:
+        """Projected next completion time of a class (inf if stalled).
+
+        Same algebra as the old per-flow ``Flow.eta``: the class's next
+        finisher has ``finish - service`` bytes left at ``cls.rate``.
+        """
+        finish = cls.next_finish_service()
+        if finish == _INF:
+            return _INF
+        left = finish - cls.service
+        if left <= 0:
+            return now
+        rate = cls.rate
+        if rate <= 0:
+            return _INF
+        return now + left / rate
+
+    def _set_eta(self, cls: FlowClass, eta: float) -> None:
+        """Record a class's projected next completion time."""
+        if eta == _INF:
+            self._eta_of.pop(cls, None)
             return
-        self._eta_of[flow] = eta
-        heapq.heappush(self._eta_heap, (eta, flow.fid, flow))
+        self._eta_of[cls] = eta
+        heapq.heappush(self._eta_heap, (eta, cls.csn, cls))
         self.counters.eta_refreshes += 1
 
     def _next_eta(self) -> float:
@@ -241,20 +293,20 @@ class FluidNetwork:
         if self._eta_heap_stale:
             if len(eta_of) <= 16:
                 # Tiny population: a direct scan beats heap upkeep.
-                return min(eta_of.values(), default=float("inf"))
+                return min(eta_of.values(), default=_INF)
             self._compact_eta_heap()
         heap = self._eta_heap
         while heap:
-            eta, _fid, flow = heap[0]
-            if eta_of.get(flow) == eta:
+            eta, _csn, cls = heap[0]
+            if eta_of.get(cls) == eta:
                 return eta
             heapq.heappop(heap)
-        return float("inf")
+        return _INF
 
     def _compact_eta_heap(self) -> None:
         """Rebuild the heap from the source-of-truth dict."""
-        self._eta_heap = [(eta, flow.fid, flow)
-                          for flow, eta in self._eta_of.items()]
+        self._eta_heap = [(eta, cls.csn, cls)
+                          for cls, eta in self._eta_of.items()]
         heapq.heapify(self._eta_heap)
         self._eta_heap_stale = False
         self.counters.eta_heap_compactions += 1
@@ -264,7 +316,7 @@ class FluidNetwork:
                 len(self._eta_heap) > 4 * len(self._eta_of):
             self._compact_eta_heap()
         next_eta = self._next_eta()
-        if next_eta == float("inf"):
+        if next_eta == _INF:
             if self._completion_event is not None:
                 self._completion_event.cancel()
                 self._completion_event = None
@@ -289,28 +341,33 @@ class FluidNetwork:
         progress (``now + dt == now``), so it is complete by definition —
         without this, a completion event can refire at the same
         timestamp forever.
+
+        The scan is O(due classes), not O(flows): only classes whose
+        armed ETA is at or past ``now`` are inspected, and each yields
+        its finished members from the head of its finish heap.
         """
         self._completion_event = None
         self._advance_progress()
         now = self.kernel.now
         min_dt = 8.0 * math.ulp(now if now > 1.0 else 1.0)
-        done = [f for f in self._flows
-                if f.remaining <= _EPSILON_BYTES
-                or f.remaining <= f.rate_bps * min_dt]
+        eta_of = self._eta_of
+        due = [cls for cls, eta in eta_of.items() if eta <= now]
+        done: list[Flow] = []
+        for cls in due:
+            done.extend(cls.pop_finished(max(_EPSILON_BYTES,
+                                             cls.rate * min_dt)))
         if len(done) > 1:
-            # Flow sets hash by identity, so set order varies between
-            # processes; callbacks must fire in a run-stable order.
+            # Class dict order is deterministic, but callbacks must fire
+            # in the same run-stable order the per-flow scan used.
             done.sort(key=_flow_fid)
         if not done:
             # The armed ETA was stale by a few ulps (it is stored at
             # rate-assignment time, not recomputed per event). Refresh
-            # every at-or-past-due entry from live state; `flow.eta(now)`
-            # is strictly in the future for an unfinished flow, so this
-            # cannot refire forever at one timestamp.
-            for flow in self._flows:
-                eta = self._eta_of.get(flow)
-                if eta is not None and eta <= now:
-                    self._set_eta(flow, flow.eta(now))
+            # every at-or-past-due class from live state; a class with
+            # an unfinished next member has a strictly-future ETA, so
+            # this cannot refire forever at one timestamp.
+            for cls in due:
+                self._set_eta(cls, self._class_eta(cls, now))
             self._schedule_next_completion()
             return
         for flow in done:

@@ -102,3 +102,21 @@ def test_run_experiment_seeds_matches_direct_runs():
         lo = min(r.metrics[key] for r in replicated)
         hi = max(r.metrics[key] for r in replicated)
         assert lo <= value <= hi
+
+
+def test_experiment_mode_units_report_perf_counters():
+    """PR 2 follow-up: experiment-mode units carry simulation perf
+    counters (matrix cells always did), so a parallel replication can
+    report engine work per unit and in aggregate."""
+    seeds = [3, 4]
+    replicated = run_experiment_seeds("fig2a", seeds, scale=Scale.tiny(),
+                                      workers=1)
+    for result in replicated:
+        assert result.perf, "experiment units must ship perf counters"
+        assert result.perf["reallocations"] > 0
+        assert result.perf["worlds"] >= 1.0
+        for key in ("warm_start_hits", "rounds_replayed",
+                    "lazy_materializations"):
+            assert key in result.perf
+    direct = run_experiment("fig2a", seed=3, scale=Scale.tiny())
+    assert replicated[0].perf == direct.perf

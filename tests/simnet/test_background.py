@@ -58,3 +58,39 @@ def test_poisson_background_validation():
     with pytest.raises(ValueError):
         PoissonBackground(kernel, net, r, rng=substream(1, "x"),
                           lam=0.0, mean_size_bytes=100.0)
+
+
+def test_stop_cancels_pending_arrival_event():
+    """Regression: stop() used to leave the already-scheduled _arrive
+    event live — `kernel.pending` stayed non-zero and the event fired as
+    a silent no-op (delaying a final `kernel.run()` to its timestamp)."""
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    r = Resource("r", 1000.0)
+    bg = PoissonBackground(kernel, net, r, rng=substream(7, "bg"),
+                           lam=0.5, mean_size_bytes=100.0)
+    bg.start()
+    assert kernel.pending == 1  # the first scheduled arrival
+    kernel.run(until=30.0)
+    assert bg.generated > 0
+    before = kernel.pending
+    bg.stop()
+    # The pending arrival was cancelled, not left to fire as a no-op.
+    assert kernel.pending == before - 1
+    generated = bg.generated
+    kernel.run()
+    assert bg.generated == generated  # no arrivals after stop()
+    assert kernel.pending == 0
+
+
+def test_start_is_idempotent_while_running():
+    kernel = EventKernel()
+    net = FluidNetwork(kernel)
+    r = Resource("r", 1000.0)
+    bg = PoissonBackground(kernel, net, r, rng=substream(8, "bg"),
+                           lam=1.0, mean_size_bytes=100.0)
+    bg.start()
+    bg.start()  # must not schedule a second arrival chain
+    assert kernel.pending == 1
+    bg.stop()
+    assert kernel.pending == 0

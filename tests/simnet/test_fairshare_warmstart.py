@@ -1,0 +1,307 @@
+"""Warm-start and per-class progress-accounting equivalence under churn.
+
+The warm-started :class:`FairShareAllocator` must be *bit-identical* to
+a cold allocator (``warm_start=False``) on any join/leave/load-change
+sequence: replay re-applies the recorded rounds' arithmetic in the
+recorded order, so there is no float divergence to tolerate.
+
+Against :func:`compute_fair_rates_reference` the guarantee is
+rate-vector equality up to round-off in general, and *exact* equality on
+star topologies with single-flow classes and dyadic weights: there every
+per-resource weight sum is float-exact and every residual receives at
+most one charge per round, so both engines execute the same operations
+on the same operands (this is the campaign shape — one access link per
+circuit, a shared bridge/backbone).
+
+Network-level: per-flow ``bytes_done`` is materialized lazily from the
+class service accumulators; both engines share that algebra, so with
+equal rate vectors the materialized byte counts are bit-identical too.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.fairshare import (
+    FairShareAllocator,
+    compute_fair_rates_reference,
+    use_engine,
+)
+from repro.simnet.flow import Flow
+from repro.simnet.kernel import EventKernel
+from repro.simnet.network import FluidNetwork
+from repro.simnet.perfcounters import PerfCounters
+from repro.simnet.resource import Resource
+from repro.simnet.rng import substream
+
+#: Weights whose sums/differences are exact in binary floating point for
+#: any realistic population size, keeping incremental aggregate
+#: maintenance float-exact (the bit-identity tests rely on this).
+DYADIC_WEIGHTS = (0.5, 1.0, 1.0, 2.0, 4.0)
+
+
+def _rates_by_key(alloc: FairShareAllocator) -> dict:
+    return {cls.key: cls.rate for cls in alloc.classes()}
+
+
+def _allocate_pair(warm: FairShareAllocator, cold: FairShareAllocator):
+    warm.allocate()
+    cold.allocate()
+    warm_rates = _rates_by_key(warm)
+    cold_rates = _rates_by_key(cold)
+    assert warm_rates == cold_rates  # bit-identical, not approx
+    return warm_rates
+
+
+# -- hypothesis: generic topologies, warm == cold -----------------------
+
+
+@st.composite
+def churn_scripts(draw):
+    """A resource pool, a signature pool, and a churn op sequence."""
+    n_res = draw(st.integers(min_value=2, max_value=6))
+    # A small capacity alphabet makes share ties frequent.
+    caps = draw(st.lists(st.sampled_from(
+        [100.0, 200.0, 200.0, 400.0, 1000.0]),
+        min_size=n_res, max_size=n_res))
+    n_sig = draw(st.integers(min_value=1, max_value=5))
+    sig_specs = []
+    for _ in range(n_sig):
+        k = draw(st.integers(min_value=1, max_value=n_res))
+        idx = draw(st.permutations(range(n_res)))
+        weight = draw(st.sampled_from(DYADIC_WEIGHTS))
+        sig_specs.append((tuple(idx[:k]), weight))
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["join", "join", "join", "leave",
+                                     "load"]))
+        if kind == "join":
+            ops.append(("join", draw(st.integers(0, n_sig - 1))))
+        elif kind == "leave":
+            ops.append(("leave", draw(st.integers(0, 10 ** 6))))
+        else:
+            ops.append(("load", draw(st.integers(0, n_res - 1)),
+                        draw(st.sampled_from([0.0, 0.5, 1.0, 3.0, 7.5]))))
+    return caps, sig_specs, ops
+
+
+@given(churn_scripts())
+@settings(max_examples=120, deadline=None)
+def test_property_warm_start_bit_identical_to_cold_under_churn(script):
+    caps, sig_specs, ops = script
+    resources = [Resource(f"r{i}", cap) for i, cap in enumerate(caps)]
+    signatures = [(tuple(resources[i] for i in idx), weight)
+                  for idx, weight in sig_specs]
+    warm = FairShareAllocator(warm_start=True)
+    cold = FairShareAllocator(warm_start=False)
+    live: list[Flow] = []
+    for op in ops:
+        if op[0] == "join":
+            path, weight = signatures[op[1]]
+            flow = Flow(path, 1e6, weight=weight)
+            live.append(flow)
+            warm.add_flow(flow)
+            cold.add_flow(flow)
+        elif op[0] == "leave":
+            if not live:
+                continue
+            flow = live.pop(op[1] % len(live))
+            warm.remove_flow(flow)
+            cold.remove_flow(flow)
+        else:
+            resources[op[1]].background_load = op[2]
+        if not live:
+            continue
+        warm_rates = _allocate_pair(warm, cold)
+        # The reference loop may accumulate sums in a different order:
+        # equality holds only up to round-off here.
+        reference = compute_fair_rates_reference(live)
+        for flow in live:
+            key = warm.class_of(flow).key
+            assert warm_rates[key] == pytest.approx(
+                reference[flow], rel=1e-9, abs=1e-12)
+
+
+# -- hypothesis: star topology, warm == cold == reference (bitwise) -----
+
+
+@st.composite
+def star_scripts(draw):
+    n_links = draw(st.integers(min_value=2, max_value=8))
+    caps = draw(st.lists(st.integers(min_value=10, max_value=10 ** 6),
+                         min_size=n_links, max_size=n_links, unique=True))
+    weights = draw(st.lists(st.sampled_from(DYADIC_WEIGHTS),
+                            min_size=n_links, max_size=n_links))
+    n_ops = draw(st.integers(min_value=1, max_value=20))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["join", "join", "leave", "backbone"]))
+        if kind == "join":
+            ops.append(("join", draw(st.integers(0, n_links - 1))))
+        elif kind == "leave":
+            ops.append(("leave", draw(st.integers(0, 10 ** 6))))
+        else:
+            ops.append(("backbone",
+                        draw(st.floats(min_value=0.0, max_value=20.0))))
+    return caps, weights, ops
+
+
+@given(star_scripts())
+@settings(max_examples=120, deadline=None)
+def test_property_star_single_flow_classes_bitwise_equal_reference(script):
+    """Single-flow classes on a star: one access link per flow plus one
+    shared backbone. Every water-filling operand is identical between
+    engines, so rate vectors are bit-identical — including share ties
+    between links and zero-weight fringes."""
+    caps, weights, ops = script
+    backbone = Resource("backbone", 1e9)
+    links = [Resource(f"l{i}", float(cap)) for i, cap in enumerate(caps)]
+    warm = FairShareAllocator(warm_start=True)
+    cold = FairShareAllocator(warm_start=False)
+    live: dict[int, Flow] = {}
+    for op in ops:
+        if op[0] == "join":
+            i = op[1]
+            if i in live:  # one flow per link keeps classes single-flow
+                continue
+            flow = Flow((links[i], backbone), 1e6, weight=weights[i])
+            live[i] = flow
+            warm.add_flow(flow)
+            cold.add_flow(flow)
+        elif op[0] == "leave":
+            if not live:
+                continue
+            i = sorted(live)[op[1] % len(live)]
+            flow = live.pop(i)
+            warm.remove_flow(flow)
+            cold.remove_flow(flow)
+        else:
+            backbone.background_load = op[1]
+        if not live:
+            continue
+        warm_rates = _allocate_pair(warm, cold)
+        reference = compute_fair_rates_reference(list(live.values()))
+        for flow in live.values():
+            key = warm.class_of(flow).key
+            assert warm_rates[key] == reference[flow]  # bit-identical
+
+
+# -- handcrafted edges --------------------------------------------------
+
+
+def test_warm_start_replays_past_zero_rate_stall():
+    """A resource drained to residual 0.0 yields an exact 0.0 share; the
+    stalled round must replay bit-identically when churn elsewhere keeps
+    it valid."""
+    r1 = Resource("r1", 10.0)
+    r2 = Resource("r2", 6.25)
+    r3 = Resource("r3", 1e6)
+    heavy = Flow((r1, r1, r2), 1e6, weight=4.0)  # charges r1 twice
+    light = Flow((r2,), 1e6)
+    stalled = Flow((r1,), 1e6)
+    warm = FairShareAllocator(warm_start=True)
+    cold = FairShareAllocator(warm_start=False)
+    for flow in (heavy, light, stalled):
+        warm.add_flow(flow)
+        cold.add_flow(flow)
+    rates = _allocate_pair(warm, cold)
+    # r2 freezes first (share 1.25); heavy's double charge drains r1 to
+    # exactly 0.0, stalling the remaining flow at rate 0.0.
+    assert rates[warm.class_of(heavy).key] == 5.0
+    assert rates[warm.class_of(stalled).key] == 0.0
+    # Churn on a disjoint resource: the stalled rounds replay.
+    counters = PerfCounters()
+    extra = Flow((r3,), 1e6)
+    warm.add_flow(extra)
+    cold.add_flow(extra)
+    warm.allocate(counters)
+    cold.allocate()
+    assert _rates_by_key(warm) == _rates_by_key(cold)
+    assert warm.class_of(stalled).rate == 0.0
+    assert counters.warm_start_hits == 1
+    assert counters.rounds_replayed >= 2
+
+
+def test_full_hit_skips_every_round():
+    """An unchanged population replays the entire previous solution."""
+    backbone = Resource("bb", 1e6)
+    links = [Resource(f"l{i}", 1000.0 + i) for i in range(5)]
+    alloc = FairShareAllocator(warm_start=True)
+    for link in links:
+        alloc.add_flow(Flow((link, backbone), 1e6))
+    counters = PerfCounters()
+    alloc.allocate(counters)
+    first = _rates_by_key(alloc)
+    cold_rounds = counters.waterfill_rounds
+    assert cold_rounds >= 5
+    alloc.allocate(counters)
+    assert _rates_by_key(alloc) == first
+    assert counters.warm_start_hits == 1
+    assert counters.rounds_replayed == cold_rounds
+    assert counters.waterfill_rounds == cold_rounds  # no new rounds run
+
+
+# -- network level: engines and materialized bytes ----------------------
+
+
+def _churn_trace(engine: str) -> list[tuple]:
+    """Start/abort/complete churn on a star; returns per-flow facts."""
+    with use_engine(engine):
+        kernel = EventKernel()
+        counters = PerfCounters()
+        net = FluidNetwork(kernel, counters=counters)
+        rng = substream(42, "warmstart", "trace")
+        backbone = Resource("backbone", 5e5)
+        links = [Resource(f"link{i}", 1e4 * (i + 1)) for i in range(6)]
+        record: list[tuple] = []
+        flows: list[Flow] = []
+        for wave in range(12):
+            for i in range(6):
+                flow = net.start_flow((links[i], backbone),
+                                      rng.uniform(1e4, 2e5))
+                flows.append(flow)
+            kernel.run(until=kernel.now + rng.uniform(0.5, 2.0))
+            victims = [f for f in flows if f.is_active][::3]
+            for victim in victims:
+                net.abort_flow(victim)  # forces materialization mid-flight
+        kernel.run()
+        for index, flow in enumerate(flows):
+            record.append((index, flow.state.value, flow.bytes_done,
+                           flow.remaining, flow.started_at,
+                           flow.finished_at))
+        return record, counters
+
+
+def test_network_churn_bit_identical_across_engines():
+    reference, _ = _churn_trace("reference")
+    optimized, counters = _churn_trace("optimized")
+    assert optimized == reference  # bytes_done/timestamps bit-identical
+    assert counters.lazy_materializations > 0
+
+
+def test_abort_materializes_partial_bytes_from_class_service():
+    kernel = EventKernel()
+    counters = PerfCounters()
+    net = FluidNetwork(kernel, counters=counters)
+    r = Resource("r", 100.0)
+    a = net.start_flow([r], 1000.0)
+    b = net.start_flow([r], 1000.0)
+    kernel.run(until=4.0)
+    net.abort_flow(a)  # advances class service, then materializes
+    assert a.bytes_done == pytest.approx(200.0)  # 50 B/s each for 4s
+    assert counters.lazy_materializations == 1
+    kernel.run()
+    assert b.state.value == "completed"
+    assert b.bytes_done == pytest.approx(1000.0)
+    assert b.remaining == 0.0
+
+
+def test_perf_summary_exposes_warm_start_counters():
+    counters = PerfCounters()
+    snapshot = counters.snapshot()
+    for key in ("warm_start_hits", "rounds_replayed",
+                "lazy_materializations"):
+        assert key in snapshot

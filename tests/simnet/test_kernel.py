@@ -99,3 +99,43 @@ def test_max_events_bound():
         kernel.schedule(float(i + 1), fired.append, i)
     kernel.run(max_events=4)
     assert fired == [0, 1, 2, 3]
+
+
+def test_max_events_with_until_advances_clock_to_next_event():
+    """Regression: the max_events early-return used to leave `now` at the
+    last fired event even when `until` was given, so callers resuming a
+    bounded run saw a stale clock. The clock now advances as far as it
+    can without passing the next unfired event."""
+    kernel = EventKernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "a")
+    kernel.schedule(5.0, fired.append, "b")
+    kernel.run(until=10.0, max_events=1)
+    assert fired == ["a"]
+    # Not stale at 1.0, and not past the pending event at 5.0.
+    assert kernel.now == 5.0
+    # Resuming the bounded run fires the pending event and then reaches
+    # the horizon as usual.
+    kernel.run(until=10.0)
+    assert fired == ["a", "b"]
+    assert kernel.now == 10.0
+
+
+def test_max_events_without_until_keeps_last_fired_time():
+    kernel = EventKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(5.0, lambda: None)
+    kernel.run(max_events=1)
+    assert kernel.now == 1.0  # no horizon: clock stays at the last event
+
+
+def test_max_events_budget_never_passes_the_horizon():
+    kernel = EventKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.schedule(20.0, lambda: None)
+    kernel.run(until=10.0, max_events=2)
+    # Both in-horizon events fired; the out-of-horizon one must not pull
+    # the clock past `until`.
+    assert kernel.events_fired == 2
+    assert kernel.now == 10.0
