@@ -13,6 +13,9 @@ Examples::
     python -m repro list
     python -m repro run fig2a fig5 --seed 7 --scale small
     python -m repro run fig2a --seeds 1 2 3 4 --workers 4
+    python -m repro run fig2a --out-dir exports --chunk-size 50000
+    python -m repro run fig2a --seeds 1 2 3 4 --workers 4 \
+        --out-dir exports --spool
     python -m repro compare tor obfs4 meek --sites 30
 """
 
@@ -32,6 +35,7 @@ from repro.core.experiments import (
     run_experiment_seeds,
 )
 from repro.core.ptperf import PTPerf
+from repro.measure.store import DEFAULT_CHUNK_SIZE
 
 _SCALES = {"tiny": Scale.tiny, "small": Scale.small, "paper": Scale.paper}
 
@@ -45,8 +49,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _run_multi_seed(eid: str, seeds: list[int], workers: int,
-                    scale: Scale) -> None:
-    results = run_experiment_seeds(eid, seeds, scale=scale, workers=workers)
+                    scale: Scale, *, out_dir=None, spool_dir=None,
+                    chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+    results = run_experiment_seeds(eid, seeds, scale=scale, workers=workers,
+                                   spool_dir=spool_dir,
+                                   chunk_size=chunk_size)
     for seed, result in zip(seeds, results):
         print(f"\n-- seed {seed} --")
         print(result.comparison())
@@ -55,6 +62,72 @@ def _run_multi_seed(eid: str, seeds: list[int], workers: int,
         metrics=mean_seed_metrics(results), paper=results[0].paper)
     print(f"\npaper vs mean over seeds {seeds} ({workers} worker(s)):")
     print(mean.comparison())
+    if spool_dir is not None:
+        print(f"spooled worker shards under {spool_dir}")
+    elif out_dir is not None:
+        # Without spooling, export each seed's records like the
+        # single-seed path does — asking for --out-dir must never be a
+        # silent no-op.
+        for seed, result in zip(seeds, results):
+            _export_results(result, out_dir, chunk_size, seed=seed)
+
+
+def _spool_dir_of(out_dir, eid):
+    """Where a spooled fan-out for one experiment lives (shared by the
+    pre-flight guard and the run loop — never derive it twice)."""
+    from pathlib import Path
+
+    return Path(out_dir) / f"{eid}-spool"
+
+
+def _export_dir_of(out_dir, eid, seed=None):
+    """Where one experiment's (optionally per-seed) export lives."""
+    from pathlib import Path
+
+    suffix = "" if seed is None else f"-seed{seed}"
+    return Path(out_dir) / f"{eid}{suffix}"
+
+
+def _existing_export_dir(out_dir, experiments, seeds, spool):
+    """The first prospective export directory that is unusable — it
+    already holds shards, or two seeds would write it (duplicate seeds
+    without spooling). None when every target is clean."""
+    from repro.measure.parallel import MERGED_SUBDIR
+    from repro.measure.store import ShardedResultStore
+
+    candidates = []
+    for eid in experiments:
+        if seeds and spool:
+            candidates.append(_spool_dir_of(out_dir, eid) / MERGED_SUBDIR)
+        elif seeds:
+            candidates.extend(_export_dir_of(out_dir, eid, seed)
+                              for seed in seeds)
+        else:
+            candidates.append(_export_dir_of(out_dir, eid))
+    seen = set()
+    for directory in candidates:
+        # Duplicate seeds map two exports onto one path: the second
+        # would hit the clobber guard only after the whole simulation.
+        if directory in seen or ShardedResultStore.has_shards(directory):
+            return directory
+        seen.add(directory)
+    return None
+
+
+def _export_results(result: ExperimentResult, out_dir, chunk_size: int,
+                    seed=None) -> None:
+    """Export one experiment's records as a sharded JSONL store."""
+    from repro.measure.store import ShardedResultStore
+
+    if result.results is None:
+        print(f"[{result.experiment_id}] no result records to export")
+        return
+    directory = _export_dir_of(out_dir, result.experiment_id, seed)
+    store = ShardedResultStore(directory, chunk_size=chunk_size)
+    store.extend(result.results)
+    store.flush()
+    print(f"[{result.experiment_id}] wrote {len(store)} records in "
+          f"{len(store.shard_paths)} shard(s) to {directory}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -66,6 +139,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.chunk_size < 1:
+        print("--chunk-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.spool and args.out_dir is None:
+        print("--spool needs --out-dir (shards have to live somewhere)",
+              file=sys.stderr)
+        return 2
+    if args.spool and not args.seeds:
+        print("--spool applies to --seeds fan-outs", file=sys.stderr)
+        return 2
     try:
         backend.set_engine(args.analysis_engine)
     except ConfigError as exc:
@@ -74,19 +157,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]()
     perf = PTPerf(seed=args.seed, scale=scale)
     experiments = args.experiments or list(EXPERIMENTS)
-    for eid in experiments:
-        if args.seeds:
-            header = (f"{eid}: {EXPERIMENTS[eid].title} "
-                      f"({EXPERIMENTS[eid].paper_ref})")
+    if args.out_dir is not None:
+        # Fail on a reused export directory *before* simulating
+        # anything — the spool path pre-claims its merged store for the
+        # same reason.
+        clash = _existing_export_dir(args.out_dir, experiments,
+                                     args.seeds, args.spool)
+        if clash is not None:
+            print(f"{clash} already contains shards (or duplicate --seeds "
+                  "target it twice); pick a fresh --out-dir or fix the "
+                  "seed list", file=sys.stderr)
+            return 2
+    try:
+        for eid in experiments:
+            if args.seeds:
+                header = (f"{eid}: {EXPERIMENTS[eid].title} "
+                          f"({EXPERIMENTS[eid].paper_ref})")
+                print(f"\n{header}\n{'=' * len(header)}")
+                spool_dir = _spool_dir_of(args.out_dir, eid) \
+                    if args.spool else None
+                _run_multi_seed(eid, args.seeds, args.workers, scale,
+                                out_dir=args.out_dir, spool_dir=spool_dir,
+                                chunk_size=args.chunk_size)
+                continue
+            result = perf.run(eid)
+            header = f"{eid}: {result.title} ({EXPERIMENTS[eid].paper_ref})"
             print(f"\n{header}\n{'=' * len(header)}")
-            _run_multi_seed(eid, args.seeds, args.workers, scale)
-            continue
-        result = perf.run(eid)
-        header = f"{eid}: {result.title} ({EXPERIMENTS[eid].paper_ref})"
-        print(f"\n{header}\n{'=' * len(header)}")
-        print(result.text)
-        print("\npaper vs measured:")
-        print(result.comparison())
+            print(result.text)
+            print("\npaper vs measured:")
+            print(result.comparison())
+            if args.out_dir is not None:
+                _export_results(result, args.out_dir, args.chunk_size)
+    except ConfigError as exc:
+        # E.g. --out-dir / --spool pointing at a directory that already
+        # holds shards: a clean message, not a traceback.
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -126,6 +232,15 @@ def build_parser() -> argparse.ArgumentParser:
                      default="auto",
                      help="statistical-reduction engine (auto = numpy when "
                           "importable; both engines are bit-identical)")
+    run.add_argument("--out-dir", default=None, metavar="DIR",
+                     help="export each experiment's records as a sharded "
+                          "JSONL result store under DIR/<experiment-id>")
+    run.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                     help="records per shard for --out-dir/--spool stores")
+    run.add_argument("--spool", action="store_true",
+                     help="with --seeds and --out-dir: workers spill their "
+                          "records to shard files instead of shipping them "
+                          "through the process pool (bounded-memory merge)")
 
     compare = sub.add_parser("compare", help="quick PT comparison")
     compare.add_argument("pts", nargs="+", help="transport names")

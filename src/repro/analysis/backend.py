@@ -115,6 +115,61 @@ def mean_sd(values: Sequence[float]) -> tuple[float, float]:
     return m, math.sqrt(ss / (n - 1))
 
 
+class ExactSum:
+    """A streaming sum that is exact regardless of chunking or order.
+
+    Maintains the running sum as Shewchuk non-overlapping partials (the
+    same representation :func:`math.fsum` uses internally), so feeding
+    the same multiset of finite values in *any* order, split across
+    *any* sequence of :meth:`add` calls, produces the exact real sum —
+    and :attr:`value` rounds it once, bit-identical to a single
+    ``math.fsum`` over all the values. This is what lets the chunked
+    column store fold per-shard partial aggregates and still match the
+    in-memory reductions bitwise (a per-shard ``fsum`` would round once
+    per shard and drift).
+
+    Values must be finite; overflow of the exact sum past the double
+    range is undefined, as with ``fsum``.
+    """
+
+    __slots__ = ("count", "_partials")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._partials: list[float] = []
+
+    def add(self, values: Sequence[float]) -> None:
+        """Fold a batch of values into the exact running sum."""
+        partials = self._partials
+        n = 0
+        for x in values:
+            n += 1
+            x = float(x)
+            i = 0
+            for y in partials:
+                if abs(x) < abs(y):
+                    x, y = y, x
+                hi = x + y
+                lo = y - (hi - x)
+                if lo:
+                    partials[i] = lo
+                    i += 1
+                x = hi
+            partials[i:] = [x]
+        self.count += n
+
+    @property
+    def value(self) -> float:
+        """The correctly-rounded sum of every value added so far."""
+        return math.fsum(self._partials)
+
+    def mean(self) -> float:
+        """Exactly-rounded mean; identical to ``fsum(all)/count``."""
+        if self.count == 0:
+            raise ValueError("empty sample")
+        return self.value / self.count
+
+
 def nearest_rank_quantile(sorted_values: Sequence[float], q: float) -> float:
     """Smallest sample value with CDF >= q (nearest-rank definition).
 

@@ -122,14 +122,23 @@ def run_experiment(experiment_id: str, *, seed: int = 1,
 
 def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,
                          scale: Optional[Scale] = None,
-                         workers: int = 1) -> list[ExperimentResult]:
+                         workers: int = 1,
+                         spool_dir=None,
+                         chunk_size: Optional[int] = None,
+                         ) -> list[ExperimentResult]:
     """Run one experiment at several seeds, fanned across workers.
 
     Each seed is an independent world, so the replication routes
     through :class:`~repro.measure.parallel.ParallelCampaign`. The
     returned list is aligned with the given ``seeds`` order regardless
     of worker completion order (the outcome itself merges sorted by
-    seed).
+    seed). With ``spool_dir`` set, workers spill their result sets to
+    JSONL shards there instead of shipping row payloads through the
+    pool (see ``docs/streaming-store.md``); the returned results then
+    carry metrics only (``results=None``) — the records stay in the
+    spool shards and the merged store under ``spool_dir``, so a
+    many-seed fan-out never re-materializes every seed's record set in
+    this process.
     """
     from repro.measure.parallel import CampaignSpec, ParallelCampaign
 
@@ -140,8 +149,11 @@ def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,
     seeds = list(seeds)
     spec = CampaignSpec(seeds=tuple(seeds), experiment_id=experiment_id,
                         scale=scale or Scale.small())
-    outcome = ParallelCampaign(spec, workers=workers).run()
-    by_seed = {unit.seed: unit.to_experiment_result()
+    campaign_args = {} if chunk_size is None else {"chunk_size": chunk_size}
+    outcome = ParallelCampaign(spec, workers=workers, spool_dir=spool_dir,
+                               **campaign_args).run()
+    by_seed = {unit.seed: unit.to_experiment_result(
+                   load_records=outcome.store is None)
                for unit in outcome.units}
     return [by_seed[seed] for seed in seeds]
 

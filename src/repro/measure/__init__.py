@@ -30,7 +30,9 @@ from repro.measure.records import (
     Method,
     ResultSet,
     TargetKind,
+    record_to_row,
 )
+from repro.measure.store import ChunkedColumnStore, ShardedResultStore
 from repro.measure.surge import (
     POST_SEPTEMBER_MONTHS,
     PRE_SEPTEMBER_MONTHS,
@@ -43,13 +45,14 @@ from repro.measure.surge import (
 
 __all__ = [
     "Anomaly", "CampaignOutcome", "CampaignRunner", "CampaignSpec",
-    "CellSpec", "ColumnStore", "DEFAULT_PACING", "GroupedValues",
-    "LocationCell", "LongTermMonitor",
+    "CellSpec", "ChunkedColumnStore", "ColumnStore", "DEFAULT_PACING",
+    "GroupedValues", "LocationCell", "LongTermMonitor",
     "MeasurementRecord", "Method", "OVERLOAD_PACING",
     "POST_SEPTEMBER_MONTHS", "PRE_SEPTEMBER_MONTHS", "PacingPolicy",
     "ParallelCampaign", "ProbeSample", "ResultSet",
-    "SNOWFLAKE_USER_TIMELINE", "SurgePoint", "TargetKind", "UnitResult",
-    "WorkUnit", "iran_protest_schedule", "location_matrix", "matrix_cells",
-    "mean_by_client", "ordering_by_cell", "post_september_level",
-    "pre_september_level", "surge_level_for",
+    "SNOWFLAKE_USER_TIMELINE", "ShardedResultStore", "SurgePoint",
+    "TargetKind", "UnitResult", "WorkUnit", "iran_protest_schedule",
+    "location_matrix", "matrix_cells", "mean_by_client", "ordering_by_cell",
+    "post_september_level", "pre_september_level", "record_to_row",
+    "surge_level_for",
 ]

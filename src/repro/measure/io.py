@@ -1,9 +1,24 @@
-"""Result persistence: CSV and JSON round-trips for result sets.
+"""Result persistence: CSV, JSON and JSONL round-trips for result sets.
 
 The paper publishes its measurement data and analysis scripts; this
 module is the equivalent surface for the reproduction — campaigns can be
 exported for external analysis (pandas, R) and reloaded for later
 statistics without re-simulating.
+
+Two access styles coexist:
+
+* **materializing** — ``read_csv``/``read_json`` rebuild a full
+  :class:`~repro.measure.records.ResultSet` in memory, as before;
+* **streaming** — ``iter_csv``/``iter_json_lines`` are generators that
+  yield one :class:`~repro.measure.records.MeasurementRecord` at a
+  time, and every writer accepts any record iterable, so out-of-core
+  pipelines (the sharded store in :mod:`repro.measure.store`, spooling
+  parallel workers) never hold a whole campaign in RAM.
+
+The JSONL (one row object per line) format is the shard format of the
+streaming store: append-friendly, newline-splittable, and exact — JSON
+serialises doubles via ``repr``, which round-trips every finite float
+bit-identically.
 """
 
 from __future__ import annotations
@@ -11,9 +26,15 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator, Union
 
-from repro.measure.records import MeasurementRecord, Method, ResultSet, TargetKind
+from repro.measure.records import (
+    MeasurementRecord,
+    Method,
+    ResultSet,
+    TargetKind,
+    record_to_row,
+)
 from repro.web.types import Status
 
 #: Stable column order for CSV export. ``sim_time_s`` and ``meta`` sit
@@ -24,6 +45,17 @@ _COLUMNS = (
     "medium", "duration_s", "ttfb_s", "speed_index_s", "status",
     "bytes_expected", "bytes_received", "repetition", "sim_time_s", "meta",
 )
+
+_KNOWN_KEYS = frozenset(_COLUMNS)
+
+#: value -> enum member, bypassing EnumMeta.__call__ in the row-decode
+#: hot path (a streaming pass decodes millions of rows per reduction).
+_KIND_OF = {k.value: k for k in TargetKind}
+_METHOD_OF = {m.value: m for m in Method}
+_STATUS_OF = {s.value: s for s in Status}
+
+#: Anything the writers accept: a result set or a plain record iterable.
+Records = Union[ResultSet, Iterable[MeasurementRecord]]
 
 
 def _meta_from_value(value) -> dict:
@@ -36,49 +68,100 @@ def _meta_from_value(value) -> dict:
     return dict(value)
 
 
-def _record_from_row(row: dict) -> MeasurementRecord:
-    def opt_float(value):
-        if value in (None, "", "None"):
-            return None
-        return float(value)
+def _opt_float(value):
+    if value in (None, "", "None"):
+        return None
+    return float(value)
 
+
+def _record_from_row(row: dict, *, strict: bool = False) -> MeasurementRecord:
+    if row.keys() == _KNOWN_KEYS:
+        # Exact current schema (every wire row, every shard line, every
+        # file we wrote ourselves): skip the unknown-column scan.
+        meta = _meta_from_value(row["meta"])
+    else:
+        unknown = {key: value for key, value in row.items()
+                   if key not in _KNOWN_KEYS and key is not None
+                   and value not in (None, "")}
+        if unknown and strict:
+            raise ValueError(
+                f"row has unknown columns: {sorted(unknown)} "
+                "(pass strict=False to fold them into record.meta)")
+        meta = _meta_from_value(row.get("meta"))
+        if unknown:
+            # Unknown columns must not be dropped silently: hand-edited
+            # or newer-format files would lose fields. The explicit
+            # meta cell wins on a key collision.
+            meta = {**unknown, **meta}
+
+    try:
+        kind = _KIND_OF[row["kind"]]
+        method = _METHOD_OF[row["method"]]
+        status = _STATUS_OF[row["status"]]
+    except KeyError as exc:
+        if any(key not in row for key in ("kind", "method", "status")):
+            raise  # absent column: the bare KeyError names it, as before
+        # The dict lookups exist for speed; corrupt or newer-format
+        # files still deserve the descriptive ValueError the enum
+        # constructors used to raise.
+        raise ValueError(f"row has invalid enum value {exc.args[0]!r} "
+                         f"(kind={row.get('kind')!r}, "
+                         f"method={row.get('method')!r}, "
+                         f"status={row.get('status')!r})") from None
     return MeasurementRecord(
         pt=row["pt"],
         category=row["category"],
         target=row["target"],
-        kind=TargetKind(row["kind"]),
-        method=Method(row["method"]),
+        kind=kind,
+        method=method,
         client_city=row["client"],
         server_city=row["server"],
         medium=row["medium"],
         duration_s=float(row["duration_s"]),
-        status=Status(row["status"]),
+        status=status,
         bytes_expected=float(row["bytes_expected"]),
         bytes_received=float(row["bytes_received"]),
-        ttfb_s=opt_float(row.get("ttfb_s")),
-        speed_index_s=opt_float(row.get("speed_index_s")),
+        ttfb_s=_opt_float(row.get("ttfb_s")),
+        speed_index_s=_opt_float(row.get("speed_index_s")),
         sim_time_s=float(row.get("sim_time_s") or 0.0),
         repetition=int(float(row.get("repetition", 0) or 0)),
-        meta=_meta_from_value(row.get("meta")),
+        meta=meta,
     )
 
 
-def rows_to_result_set(rows: Iterable[dict]) -> ResultSet:
+def _iter_records(results: Records) -> Iterator[MeasurementRecord]:
+    """The writers' input normalisation: records, streamed."""
+    return iter(results)
+
+
+def rows_to_result_set(rows: Iterable[dict], *,
+                       strict: bool = False) -> ResultSet:
     """Rebuild a result set from :meth:`ResultSet.to_rows` output.
 
     This is the wire format parallel campaign workers use to ship
     results back to the parent process, so it must restore every field.
+    Unknown row keys land in ``meta`` (or raise with ``strict=True``).
     """
-    return ResultSet(_record_from_row(row) for row in rows)
+    return ResultSet(_record_from_row(row, strict=strict) for row in rows)
 
 
-def write_csv(results: ResultSet, path: str | Path) -> Path:
-    """Write a result set as CSV (one row per measurement)."""
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
+
+
+def write_csv(results: Records, path: str | Path) -> Path:
+    """Write records as CSV (one row per measurement), streaming.
+
+    Accepts a :class:`ResultSet` or any record iterable — a generator
+    input is written row by row without materializing a row list.
+    """
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=_COLUMNS)
         writer.writeheader()
-        for row in results.to_rows():
+        for record in _iter_records(results):
+            row = record_to_row(record)
             out = {col: row.get(col) for col in _COLUMNS}
             out["meta"] = json.dumps(row["meta"], sort_keys=True) \
                 if row.get("meta") else ""
@@ -86,24 +169,74 @@ def write_csv(results: ResultSet, path: str | Path) -> Path:
     return path
 
 
-def read_csv(path: str | Path) -> ResultSet:
-    """Load a result set previously written by :func:`write_csv`."""
+def iter_csv(path: str | Path, *,
+             strict: bool = False) -> Iterator[MeasurementRecord]:
+    """Stream records from a CSV file, one at a time.
+
+    Tolerates legacy short-header files (missing trailing columns fall
+    back to record defaults) and, with ``strict=False`` (the default),
+    folds columns the format does not know into ``record.meta``;
+    ``strict=True`` raises on them instead.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
-        return rows_to_result_set(csv.DictReader(handle))
+        for row in csv.DictReader(handle):
+            yield _record_from_row(row, strict=strict)
 
 
-def write_json(results: ResultSet, path: str | Path, *,
+def read_csv(path: str | Path, *, strict: bool = False) -> ResultSet:
+    """Load a result set previously written by :func:`write_csv`."""
+    return ResultSet(iter_csv(path, strict=strict))
+
+
+# ---------------------------------------------------------------------------
+# JSON (one array) and JSONL (one row object per line — the shard format)
+# ---------------------------------------------------------------------------
+
+
+def write_json(results: Records, path: str | Path, *,
                indent: int | None = None) -> Path:
-    """Write a result set as a JSON array of measurement objects."""
+    """Write records as a JSON array of measurement objects."""
     path = Path(path)
-    path.write_text(json.dumps(results.to_rows(), indent=indent))
+    rows = [record_to_row(r) for r in _iter_records(results)]
+    path.write_text(json.dumps(rows, indent=indent))
     return path
 
 
-def read_json(path: str | Path) -> ResultSet:
+def read_json(path: str | Path, *, strict: bool = False) -> ResultSet:
     """Load a result set previously written by :func:`write_json`."""
-    return rows_to_result_set(json.loads(Path(path).read_text()))
+    return rows_to_result_set(json.loads(Path(path).read_text()),
+                              strict=strict)
+
+
+def write_json_lines(results: Records, path: str | Path) -> Path:
+    """Write records as JSONL (the streaming store's shard format).
+
+    One JSON object per line, streamed — bounded memory for any input
+    iterable. JSON string escaping keeps every row on a single line.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in _iter_records(results):
+            handle.write(json.dumps(record_to_row(record), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def iter_json_lines(path: str | Path, *,
+                    strict: bool = False) -> Iterator[MeasurementRecord]:
+    """Stream records from a JSONL shard, one at a time."""
+    path = Path(path)
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _record_from_row(json.loads(line), strict=strict)
+
+
+def read_json_lines(path: str | Path, *, strict: bool = False) -> ResultSet:
+    """Load a whole JSONL shard into memory (tests, small files)."""
+    return ResultSet(iter_json_lines(path, strict=strict))
 
 
 def merge(result_sets: Iterable[ResultSet]) -> ResultSet:

@@ -11,6 +11,7 @@ snowflake degradation automatically instead of by coincidence
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -81,8 +82,13 @@ class LongTermMonitor:
         results = runner.run_website_campaign(
             self.pts, self.world.tranco[:self.n_sites],
             method=Method.CURL, repetitions=self.repetitions)
-        week_samples = [self._summarise(week, pt, group)
-                        for pt, group in results.by_pt().items()]
+        groups = results.by_pt()
+        # Iterate the panel, not the groups: a transport so degraded it
+        # produced *no* records at all must still emit its (empty)
+        # weekly sample — that is the total-outage signal the monitor
+        # exists to catch, not a KeyError to swallow.
+        week_samples = [self._summarise(week, pt, groups.get(pt, ResultSet()))
+                        for pt in self.pts]
         self.samples.extend(week_samples)
         # Leave a week of simulated time before the next probe.
         self.world.kernel.run(until=self.world.kernel.now + WEEK)
@@ -97,6 +103,14 @@ class LongTermMonitor:
     @staticmethod
     def _summarise(week: int, pt: str, group: ResultSet) -> ProbeSample:
         durations = sorted(group.durations())
+        if not durations:
+            # A fully-failed probe week — the exact total-degradation
+            # scenario the monitor exists to catch. fmean/quantile
+            # would raise on the empty sample; emit an n=0 sample with
+            # NaN summary statistics and a 100% failure fraction
+            # instead, and let detect_anomalies flag it.
+            return ProbeSample(week=week, pt=pt, mean_s=math.nan,
+                               p90_s=math.nan, failure_fraction=1.0, n=0)
         # Nearest-rank percentile (int(0.9 * n) over-indexes: n=10
         # would report the maximum); the single shared definition in
         # the analysis backend.
@@ -120,13 +134,25 @@ class LongTermMonitor:
         The baseline for week *w* is every prior non-flagged week; a
         week is anomalous when its mean lies more than ``z_threshold``
         standard deviations above the baseline mean (one-sided: we only
-        care about degradation).
+        care about degradation). Fully-failed weeks (``n == 0``) are
+        flagged unconditionally with ``z = inf`` and never join the
+        baseline.
         """
         anomalies: list[Anomaly] = []
         for pt in {s.pt for s in self.samples}:
             history = sorted(self.history(pt), key=lambda s: s.week)
             baseline: list[float] = []
             for sample in history:
+                if sample.n == 0 or math.isnan(sample.mean_s):
+                    # A fully-failed week is anomalous on its face —
+                    # no baseline needed, and its NaN mean must never
+                    # poison the rolling baseline.
+                    anomalies.append(Anomaly(
+                        week=sample.week, pt=pt, mean_s=sample.mean_s,
+                        baseline_mean_s=(statistics.fmean(baseline)
+                                         if baseline else math.nan),
+                        z_score=math.inf))
+                    continue
                 if len(baseline) >= min_baseline_weeks:
                     mean = statistics.fmean(baseline)
                     sd = statistics.stdev(baseline) if len(baseline) > 1 else 0.0

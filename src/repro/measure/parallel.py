@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.core.config import Scale, WorldConfig
@@ -43,6 +44,7 @@ from repro.measure import io as measure_io
 from repro.measure.campaign import CampaignRunner
 from repro.measure.ethics import DEFAULT_PACING, PacingPolicy
 from repro.measure.records import Method, ResultSet
+from repro.measure.store import DEFAULT_CHUNK_SIZE, ShardedResultStore
 from repro.simnet.geo import City
 
 
@@ -121,13 +123,8 @@ class WorkUnit:
         return self.spec.cells[self.cell_index]
 
 
-def _run_unit(unit: WorkUnit) -> dict:
-    """Execute one work unit and return its picklable payload.
-
-    Results travel as plain ``to_rows()`` dicts — the measure.io wire
-    format — never as live record objects, so the in-process and
-    multiprocessing paths hand the parent byte-identical data.
-    """
+def _execute_unit(unit: WorkUnit) -> tuple[ResultSet, dict, Optional[dict]]:
+    """Run one work unit in this process: (results, perf, experiment)."""
     spec = unit.spec
     if spec.is_experiment:
         # Imported lazily: core.experiments imports measure.locations,
@@ -136,15 +133,13 @@ def _run_unit(unit: WorkUnit) -> dict:
 
         result = run_experiment(spec.experiment_id, seed=unit.seed,
                                 scale=spec.scale)
-        rows = result.results.to_rows() if result.results is not None else []
         # PR 2 follow-up: experiment-mode units report the simulation
         # perf counters of the worlds they built, like matrix cells do.
-        return {"seed": unit.seed, "cell_index": unit.cell_index,
-                "rows": rows, "perf": result.perf,
-                "experiment": {"experiment_id": result.experiment_id,
-                               "title": result.title, "text": result.text,
-                               "metrics": result.metrics,
-                               "paper": result.paper}}
+        return (result.results if result.results is not None else ResultSet(),
+                result.perf,
+                {"experiment_id": result.experiment_id,
+                 "title": result.title, "text": result.text,
+                 "metrics": result.metrics, "paper": result.paper})
     cell = unit.cell
     config = replace(spec.base_config, seed=unit.seed,
                      client_city=cell.client, server_city=cell.server,
@@ -154,44 +149,117 @@ def _run_unit(unit: WorkUnit) -> dict:
     results = runner.run_website_campaign(
         spec.pt_names, world.tranco[:spec.n_sites],
         method=spec.method, repetitions=spec.repetitions)
+    return results, runner.perf_summary(), None
+
+
+def _run_unit(unit: WorkUnit) -> dict:
+    """Execute one work unit and return its picklable payload.
+
+    Results travel as plain ``to_rows()`` dicts — the measure.io wire
+    format — never as live record objects, so the in-process and
+    multiprocessing paths hand the parent byte-identical data.
+    """
+    results, perf, experiment = _execute_unit(unit)
     return {"seed": unit.seed, "cell_index": unit.cell_index,
-            "rows": results.to_rows(), "perf": runner.perf_summary(),
-            "experiment": None}
+            "rows": results.to_rows(), "perf": perf,
+            "experiment": experiment}
+
+
+def _run_unit_spooled(args: tuple[WorkUnit, int, str]) -> dict:
+    """Execute one work unit, spilling its records to a JSONL shard.
+
+    The payload ships the shard *path*, not the rows — the parent never
+    holds a unit's records; it streams them during the merge. The shard
+    travels through the same measure.io row format as the in-RAM wire
+    payloads, so both modes hand the parent byte-identical data. The
+    file name leads with the campaign-wide unit index: (seed, cell)
+    alone is not unique when a seed repeats, and two workers writing
+    one path would corrupt the shard.
+    """
+    unit, index, spool_dir = args
+    results, perf, experiment = _execute_unit(unit)
+    path = Path(spool_dir) / (
+        f"unit-{index:06d}-s{unit.seed}-c{unit.cell_index + 1}.jsonl")
+    measure_io.write_json_lines(results, path)
+    return {"seed": unit.seed, "cell_index": unit.cell_index,
+            "shard": str(path), "n_rows": len(results), "perf": perf,
+            "experiment": experiment}
 
 
 @dataclass(frozen=True)
 class UnitResult:
-    """One work unit's reconstructed output."""
+    """One work unit's reconstructed output.
+
+    In spool mode ``results`` is None and ``shard`` points at the
+    worker's JSONL file; :meth:`load_results` reads it on demand, so
+    inspecting one unit never loads the others.
+    """
 
     seed: int
     cell: Optional[CellSpec]
-    results: ResultSet
+    results: Optional[ResultSet]
     perf: dict[str, float]
     experiment: Optional[dict] = None
+    shard: Optional[Path] = None
 
-    def to_experiment_result(self):
-        """Rebuild the worker's ExperimentResult (experiment mode only)."""
+    def load_results(self) -> ResultSet:
+        """This unit's records, loading the spool shard if needed."""
+        if self.results is not None:
+            return self.results
+        if self.shard is None:
+            return ResultSet()
+        return ResultSet(measure_io.iter_json_lines(self.shard))
+
+    def to_experiment_result(self, *, load_records: bool = True):
+        """Rebuild the worker's ExperimentResult (experiment mode only).
+
+        With ``load_records=False`` a spooled unit's records stay on
+        disk (``results=None``) — callers fanning out many seeds in
+        spool mode must not re-materialize every seed's record set at
+        once, which would undo the bounded-memory point of spooling.
+        """
         if self.experiment is None:
             raise ConfigError("not an experiment-mode unit")
         from repro.core.experiments import ExperimentResult
 
+        if not load_records and self.results is None:
+            results = None
+        else:
+            loaded = self.load_results()
+            results = loaded if len(loaded) else None
         return ExperimentResult(
             experiment_id=self.experiment["experiment_id"],
             title=self.experiment["title"], text=self.experiment["text"],
             metrics=self.experiment["metrics"],
             paper=self.experiment["paper"],
-            results=self.results if len(self.results) else None,
+            results=results,
             perf=dict(self.perf))
 
 
 @dataclass
 class CampaignOutcome:
-    """Merged output of a parallel campaign."""
+    """Merged output of a parallel campaign.
+
+    In spool mode ``merged`` is None — the merged records live in
+    ``store`` (a :class:`~repro.measure.store.ShardedResultStore` whose
+    shards hold the k-way-merged stream in the same deterministic
+    (seed, cell, index) order) and :meth:`load_merged` materializes
+    them only on request.
+    """
 
     spec: CampaignSpec
     units: list[UnitResult]   # sorted by (seed, cell index)
-    merged: ResultSet         # unit results concatenated in that order
+    merged: Optional[ResultSet]  # unit results concatenated in that order
     workers: int
+    store: Optional[ShardedResultStore] = None
+
+    def load_merged(self) -> ResultSet:
+        """The merged result set, materializing the store if spooled."""
+        if self.merged is not None:
+            return self.merged
+        if self.store is None:
+            return ResultSet()
+        return self.store.to_result_set()
 
     def perf_summary(self) -> dict[str, float]:
         """Perf counters summed across every unit's world.
@@ -214,6 +282,11 @@ class CampaignOutcome:
         return total
 
 
+#: Subdirectory of a spool dir holding the merged store's shards. The
+#: CLI pre-flight guard derives the same path — keep them in lockstep.
+MERGED_SUBDIR = "merged"
+
+
 class ParallelCampaign:
     """Fans a campaign spec across worker processes and merges results.
 
@@ -221,13 +294,28 @@ class ParallelCampaign:
     keeps results byte-deterministic with the multiprocessing path —
     both serialize through the same rows wire format — while remaining
     steppable under a debugger.
+
+    With ``spool_dir`` set, workers write their records to JSONL shards
+    and ship only the paths; the parent replaces the in-memory payload
+    merge with a streaming k-way merge by (seed, cell, index) into a
+    :class:`~repro.measure.store.ShardedResultStore`, so campaign
+    memory is bounded by one unit (worker side) plus one chunk (parent
+    side) regardless of campaign size. The merge order is identical to
+    the in-memory sort, so both modes produce the same record stream
+    bit for bit.
     """
 
-    def __init__(self, spec: CampaignSpec, *, workers: int = 1) -> None:
+    def __init__(self, spec: CampaignSpec, *, workers: int = 1,
+                 spool_dir: Optional[str | Path] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
         if workers < 1:
             raise ConfigError("workers must be >= 1")
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
         self.spec = spec
         self.workers = workers
+        self.spool_dir = None if spool_dir is None else Path(spool_dir)
+        self.chunk_size = chunk_size
 
     def work_units(self) -> list[WorkUnit]:
         """Expand the spec into independent (seed, cell) work units."""
@@ -241,6 +329,8 @@ class ParallelCampaign:
 
     def run(self) -> CampaignOutcome:
         units = self.work_units()
+        if self.spool_dir is not None:
+            return self._run_spooled(units)
         if self.workers == 1 or len(units) == 1:
             payloads = [_run_unit(unit) for unit in units]
         else:
@@ -263,6 +353,90 @@ class ParallelCampaign:
         merged = measure_io.merge(unit.results for unit in results)
         return CampaignOutcome(spec=self.spec, units=results, merged=merged,
                                workers=self.workers)
+
+    def _run_spooled(self, units: list[WorkUnit]) -> CampaignOutcome:
+        """Spool mode: workers write shards, the parent streams a merge."""
+        spool_dir = self.spool_dir
+        spool_dir.mkdir(parents=True, exist_ok=True)
+        merged_dir = spool_dir / MERGED_SUBDIR
+        merged_dir.mkdir(parents=True, exist_ok=True)
+        # Claim the merged directory *before* running anything: a
+        # reused spool directory must fail here, not after hours of
+        # simulation.
+        if ShardedResultStore.has_shards(merged_dir):
+            raise ConfigError(
+                f"{merged_dir} already contains shards; use "
+                "ShardedResultStore.open() to read an existing store")
+        jobs = [(unit, index, str(spool_dir))
+                for index, unit in enumerate(units)]
+        if self.workers == 1 or len(units) == 1:
+            payloads = [_run_unit_spooled(job) for job in jobs]
+        else:
+            with multiprocessing.Pool(
+                    processes=min(self.workers, len(units))) as pool:
+                payloads = pool.map(_run_unit_spooled, jobs, chunksize=1)
+        payloads.sort(key=lambda p: (p["seed"], p["cell_index"]))
+
+        # The streaming merge by (seed, cell, index): every record of a
+        # unit shares that unit's (seed, cell) key and in-unit indices
+        # ascend, so unit streams never interleave — concatenating the
+        # key-sorted runs IS the k-way merge, emitting exactly the
+        # in-memory sorted order while holding one open shard and one
+        # pending line at a time (a heap-based merge would pin one open
+        # file per unit and trip the fd limit on large fan-outs). The
+        # payload sort is stable, so duplicate (seed, cell) keys — e.g.
+        # a repeated seed — keep their unit order, like the in-memory
+        # path. Unit shard lines are already byte-identical to merged
+        # shard lines (both are write_json_lines output), so the merge
+        # copies raw lines into chunk-rolled shards — no JSON decode /
+        # record construction / re-encode per record.
+        # The roll counts every line it copies; seeding the store's
+        # counts makes the first len() free instead of a full re-read.
+        store = ShardedResultStore.open(
+            merged_dir, chunk_size=self.chunk_size,
+            shard_counts=self._roll_lines(merged_dir, payloads))
+
+        results = [
+            UnitResult(
+                seed=payload["seed"],
+                cell=(self.spec.cells[payload["cell_index"]]
+                      if payload["cell_index"] >= 0 else None),
+                results=None,
+                perf=payload["perf"],
+                experiment=payload["experiment"],
+                shard=Path(payload["shard"]))
+            for payload in payloads
+        ]
+        return CampaignOutcome(spec=self.spec, units=results, merged=None,
+                               workers=self.workers, store=store)
+
+    def _roll_lines(self, merged_dir: Path,
+                    payloads: list[dict]) -> list[int]:
+        """Copy unit-shard lines into chunk_size-line merged shards.
+
+        Returns the per-shard line counts, in shard order.
+        """
+        counts: list[int] = []
+        handle = None
+        try:
+            for payload in payloads:
+                with open(payload["shard"]) as unit:
+                    for line in unit:
+                        if not line.strip():
+                            continue
+                        if handle is None or counts[-1] == self.chunk_size:
+                            if handle is not None:
+                                handle.close()
+                            handle = open(
+                                merged_dir /
+                                f"shard-{len(counts):05d}.jsonl", "w")
+                            counts.append(0)
+                        handle.write(line)
+                        counts[-1] += 1
+        finally:
+            if handle is not None:
+                handle.close()
+        return counts
 
 
 def matrix_cells(clients: Iterable[City], servers: Iterable[City],

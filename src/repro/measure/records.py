@@ -11,6 +11,7 @@ the paper's appendix tables).
 from __future__ import annotations
 
 import enum
+import math
 import statistics
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Optional, Sequence
@@ -69,6 +70,40 @@ _METHODS: tuple[Method, ...] = tuple(Method)
 _METHOD_CODE = {m: i for i, m in enumerate(_METHODS)}
 _STATUSES: tuple[Status, ...] = tuple(Status)
 _STATUS_CODE = {s: i for i, s in enumerate(_STATUSES)}
+
+
+def status_fractions_from_counts(counts: Sequence[int],
+                                 ) -> dict["Status", float]:
+    """Status -> fraction from per-status integer counts.
+
+    The one shared finalisation used by the in-memory and chunked
+    stores: identical integer sums divided identically are bit-equal.
+    """
+    total = sum(counts)
+    return {status: counts[s] / total
+            for s, status in enumerate(_STATUSES)}
+
+
+def record_to_row(r: MeasurementRecord) -> dict:
+    """One record as a plain dict row (the serialisation wire format).
+
+    Shared by :meth:`ResultSet.to_rows` and the streaming writers in
+    :mod:`repro.measure.io`, which serialise records one at a time
+    without materializing a row list.
+    """
+    return {
+        "pt": r.pt, "category": r.category, "target": r.target,
+        "kind": r.kind.value, "method": r.method.value,
+        "client": r.client_city, "server": r.server_city,
+        "medium": r.medium, "duration_s": r.duration_s,
+        "ttfb_s": r.ttfb_s, "speed_index_s": r.speed_index_s,
+        "status": r.status.value,
+        "bytes_expected": r.bytes_expected,
+        "bytes_received": r.bytes_received,
+        "repetition": r.repetition,
+        "sim_time_s": r.sim_time_s,
+        "meta": dict(r.meta),
+    }
 
 
 @dataclass(frozen=True)
@@ -239,6 +274,47 @@ class ColumnStore:
         return GroupedValues(labels=labels, values=flat,
                              starts=tuple(starts))
 
+    def _pair_grouped_flat(self, value: str, method: Optional[Method],
+                           ) -> tuple[list[float], list[int]]:
+        """(pt, target)-grouped flat values: group (p, t) occupies
+        ``flat[starts[p * n_targets + t]:...]``."""
+        from repro.analysis import backend
+
+        n_targets = len(self.targets)
+        codes, values = self._engine_columns(value, method, self.pt_codes,
+                                             "pt")
+        if backend.current_engine() == "numpy":
+            import numpy as np
+
+            targets = self._array("target", lambda: np.asarray(
+                self.target_codes, dtype=np.int64))
+            combined = np.where(codes >= 0,
+                                codes * n_targets + targets, -1)
+        else:
+            combined = [
+                code * n_targets + target if code >= 0 else -1
+                for code, target in zip(codes, self.target_codes)]
+        return backend.group_flat(combined, values,
+                                  len(self.pts) * n_targets)
+
+    def per_target_groups(self, value: str, method: Optional[Method] = None,
+                          ) -> Iterator[tuple[str, str, list[float]]]:
+        """Yield (pt, target, values) for every non-empty (pt, target)
+        group, in pt-then-target first-seen order.
+
+        The chunked column store folds these per-shard slices into
+        mergeable exact sums; :meth:`per_target_mean_table` reduces them
+        directly.
+        """
+        flat, starts = self._pair_grouped_flat(value, method)
+        n_targets = len(self.targets)
+        for p, pt in enumerate(self.pts):
+            base = p * n_targets
+            for t, target in enumerate(self.targets):
+                lo, hi = starts[base + t], starts[base + t + 1]
+                if hi > lo:
+                    yield pt, target, flat[lo:hi]
+
     def per_target_mean_table(self, value: str,
                               method: Optional[Method] = None,
                               ) -> dict[str, dict[str, float]]:
@@ -259,32 +335,10 @@ class ColumnStore:
         if cached is not None:
             return cached
 
-        n_targets = len(self.targets)
-        codes, values = self._engine_columns(value, method, self.pt_codes,
-                                             "pt")
-        if backend.current_engine() == "numpy":
-            import numpy as np
-
-            targets = self._array("target", lambda: np.asarray(
-                self.target_codes, dtype=np.int64))
-            combined = np.where(codes >= 0,
-                                codes * n_targets + targets, -1)
-        else:
-            combined = [
-                code * n_targets + target if code >= 0 else -1
-                for code, target in zip(codes, self.target_codes)]
-        means = backend.group_means(combined, values,
-                                    len(self.pts) * n_targets)
         table: dict[str, dict[str, float]] = {}
-        for p, pt in enumerate(self.pts):
-            row = {}
-            base = p * n_targets
-            for t, target in enumerate(self.targets):
-                m = means[base + t]
-                if m is not None:
-                    row[target] = m
-            if row:
-                table[pt] = row
+        for pt, target, values in self.per_target_groups(value, method):
+            table.setdefault(pt, {})[target] = \
+                math.fsum(values) / len(values)
         self._mean_tables[key] = table
         return table
 
@@ -308,8 +362,14 @@ class ColumnStore:
             out[pt] = self._first_category[pt]
         return out
 
-    def status_fractions_by_pt(self) -> dict[str, dict[Status, float]]:
-        """Per-PT complete/partial/failed fractions in one grouped pass."""
+    def status_counts_by_pt(self) -> dict[str, list[int]]:
+        """Per-PT record counts per status (``_STATUSES`` order).
+
+        Integer counts are the mergeable form of the reliability
+        reduction: the chunked column store sums them across shards and
+        divides once, reproducing :meth:`status_fractions_by_pt`
+        bitwise.
+        """
         from repro.analysis import backend
 
         n_statuses = len(_STATUSES)
@@ -326,32 +386,59 @@ class ColumnStore:
                         for p, s in zip(self.pt_codes, self.status_codes)]
         counts = backend.group_counts(combined,
                                       len(self.pts) * n_statuses)
-        out: dict[str, dict[Status, float]] = {}
-        for p, pt in enumerate(self.pts):
-            base = p * n_statuses
-            total = sum(counts[base:base + n_statuses])
-            out[pt] = {status: counts[base + s] / total
-                       for s, status in enumerate(_STATUSES)}
-        return out
+        return {pt: counts[p * n_statuses:(p + 1) * n_statuses]
+                for p, pt in enumerate(self.pts)}
+
+    def status_fractions_by_pt(self) -> dict[str, dict[Status, float]]:
+        """Per-PT complete/partial/failed fractions in one grouped pass."""
+        return {pt: status_fractions_from_counts(counts)
+                for pt, counts in self.status_counts_by_pt().items()}
+
+    def category_info(self) -> tuple[dict[str, set], dict[str, str]]:
+        """(pt -> categories seen, pt -> first-seen category).
+
+        Read-only views of the extraction pass's category bookkeeping;
+        the chunked column store merges them across shards to reproduce
+        :meth:`pt_categories` without re-reading records.
+        """
+        return self._categories, self._first_category
 
 
 class ResultSet:
-    """An ordered collection of measurement records."""
+    """An ordered collection of measurement records.
+
+    Mutate only through :meth:`append` / :meth:`extend` — they bump the
+    version counter that keeps the cached columnar view honest. Direct
+    mutation of the underlying record list (index assignment, slicing,
+    ``del``) is unsupported: the columnar cache cannot observe it and
+    will keep serving reductions over the old rows until the next
+    tracked mutation.
+    """
 
     def __init__(self, records: Iterable[MeasurementRecord] = ()) -> None:
-        self.records: list[MeasurementRecord] = list(records)
+        self._records: list[MeasurementRecord] = list(records)
         self._columns: Optional[ColumnStore] = None
+        #: Monotonic mutation counter; ``columns()`` caches against it.
+        self._version = 0
+        self._columns_version = -1
+
+    @property
+    def records(self) -> list[MeasurementRecord]:
+        """The record list (treat as read-only; see the class docs)."""
+        return self._records
 
     # -- collection basics ---------------------------------------------
 
     def append(self, record: MeasurementRecord) -> None:
-        self.records.append(record)
+        self._records.append(record)
+        self._version += 1
 
     def extend(self, other: "ResultSet | Iterable[MeasurementRecord]") -> None:
         if isinstance(other, ResultSet):
-            self.records.extend(other.records)
+            self._records.extend(other._records)
         else:
-            self.records.extend(other)
+            self._records.extend(other)
+        self._version += 1
 
     def __len__(self) -> int:
         return len(self.records)
@@ -448,12 +535,15 @@ class ResultSet:
     def columns(self) -> ColumnStore:
         """The cached columnar view (rebuilt when records were added).
 
-        The cache is invalidated by length: records are immutable and
-        only ever appended, so a stale store always has a different
-        record count.
+        Invalidation is by mutation version, not by length: a length
+        check alone would serve a stale store after any equal-length
+        change. Every :meth:`append`/:meth:`extend` bumps the version;
+        direct mutation of ``.records`` bypasses it and is unsupported
+        (see the class docs).
         """
-        if self._columns is None or self._columns.n != len(self.records):
-            self._columns = ColumnStore(self.records)
+        if self._columns is None or self._columns_version != self._version:
+            self._columns = ColumnStore(self._records)
+            self._columns_version = self._version
         return self._columns
 
     def values_by(self, value: str = "duration_s", *, by: str = "pt",
@@ -480,6 +570,10 @@ class ResultSet:
         """pt -> category (with ``strict``, raises on inconsistency)."""
         return self.columns().pt_categories(strict=strict)
 
+    def status_fractions_by_pt(self) -> dict[str, dict[Status, float]]:
+        """Per-PT complete/partial/failed fractions (Figure 8a)."""
+        return self.columns().status_fractions_by_pt()
+
     # -- pairing (for paired t-tests) -----------------------------------
 
     def per_target_means(self, pt: str, value: str = "duration_s",
@@ -505,22 +599,7 @@ class ResultSet:
 
     def to_rows(self) -> list[dict]:
         """Plain-dict rows (stable keys) for serialisation/reporting."""
-        return [
-            {
-                "pt": r.pt, "category": r.category, "target": r.target,
-                "kind": r.kind.value, "method": r.method.value,
-                "client": r.client_city, "server": r.server_city,
-                "medium": r.medium, "duration_s": r.duration_s,
-                "ttfb_s": r.ttfb_s, "speed_index_s": r.speed_index_s,
-                "status": r.status.value,
-                "bytes_expected": r.bytes_expected,
-                "bytes_received": r.bytes_received,
-                "repetition": r.repetition,
-                "sim_time_s": r.sim_time_s,
-                "meta": dict(r.meta),
-            }
-            for r in self.records
-        ]
+        return [record_to_row(r) for r in self.records]
 
     def relabel(self, **changes) -> "ResultSet":
         """Copy with fields overridden on every record (e.g. medium)."""

@@ -80,3 +80,78 @@ def test_compare_command(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_out_dir_exports_sharded_store(tmp_path, capsys):
+    assert main(["run", "fig2a", "--scale", "tiny",
+                 "--out-dir", str(tmp_path / "exports"),
+                 "--chunk-size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "shard(s)" in out
+
+    from repro.measure.store import ShardedResultStore
+    store = ShardedResultStore.open(tmp_path / "exports" / "fig2a")
+    assert len(store) > 0
+    assert len(store.shard_paths) >= 2      # chunk size 8 forces shards
+    assert store.pts()                      # reductions work off disk
+
+
+def test_run_out_dir_notes_experiments_without_records(tmp_path, capsys):
+    assert main(["run", "fig10a", "--scale", "tiny",
+                 "--out-dir", str(tmp_path / "exports")]) == 0
+    assert "no result records to export" in capsys.readouterr().out
+
+
+def test_run_spool_requires_out_dir_and_seeds(capsys):
+    assert main(["run", "table2", "--seeds", "1", "--spool"]) == 2
+    assert "--out-dir" in capsys.readouterr().err
+    assert main(["run", "table2", "--spool",
+                 "--out-dir", "/tmp/nowhere"]) == 2
+    assert "--seeds" in capsys.readouterr().err
+
+
+def test_run_spool_fanout(tmp_path, capsys):
+    assert main(["run", "fig10a", "--scale", "tiny",
+                 "--seeds", "1", "2", "--workers", "1",
+                 "--out-dir", str(tmp_path / "exports"), "--spool"]) == 0
+    out = capsys.readouterr().out
+    assert "-- seed 1 --" in out and "-- seed 2 --" in out
+    assert "spooled worker shards" in out
+    assert (tmp_path / "exports" / "fig10a-spool").is_dir()
+
+
+def test_run_rejects_bad_chunk_size(capsys):
+    assert main(["run", "table2", "--chunk-size", "0"]) == 2
+    assert "--chunk-size" in capsys.readouterr().err
+
+
+def test_run_out_dir_with_seeds_exports_per_seed(tmp_path, capsys):
+    """--out-dir must never be a silent no-op in the --seeds branch."""
+    assert main(["run", "fig2a", "--scale", "tiny", "--seeds", "1", "2",
+                 "--out-dir", str(tmp_path / "exports")]) == 0
+    out = capsys.readouterr().out
+    assert out.count("wrote") == 2
+    assert (tmp_path / "exports" / "fig2a-seed1").is_dir()
+    assert (tmp_path / "exports" / "fig2a-seed2").is_dir()
+
+
+def test_run_out_dir_reuse_is_a_clean_error(tmp_path, capsys):
+    """Re-pointing --out-dir at existing shards exits 2, no traceback."""
+    out_dir = str(tmp_path / "exports")
+    assert main(["run", "fig2a", "--scale", "tiny",
+                 "--out-dir", out_dir]) == 0
+    capsys.readouterr()
+    assert main(["run", "fig2a", "--scale", "tiny",
+                 "--out-dir", out_dir]) == 2
+    err = capsys.readouterr().err
+    assert "already contains shards" in err
+
+
+def test_run_out_dir_duplicate_seeds_rejected_up_front(tmp_path, capsys):
+    """Two identical seeds would export to one directory: pre-flight
+    failure, before any simulation runs."""
+    assert main(["run", "fig2a", "--scale", "tiny", "--seeds", "1", "1",
+                 "--out-dir", str(tmp_path / "exports")]) == 2
+    err = capsys.readouterr().err
+    assert "duplicate" in err
+    assert not (tmp_path / "exports").exists()   # nothing ran

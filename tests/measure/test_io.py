@@ -156,3 +156,132 @@ def test_roundtrip_of_real_campaign(tmp_path):
     # Loaded data supports the same analysis operations.
     assert reloaded.per_target_means("tor")
     assert reloaded.filter(pt="dnstt")
+
+
+# ---------------------------------------------------------------------------
+# streaming readers/writers (PR 5)
+# ---------------------------------------------------------------------------
+
+
+def test_iter_csv_streams_same_records_as_read_csv(tmp_path):
+    from repro.measure.io import iter_csv
+
+    original = sample_results()
+    path = write_csv(original, tmp_path / "r.csv")
+    streamed = list(iter_csv(path))
+    assert streamed == read_csv(path).records == original.records
+
+
+def test_write_csv_accepts_a_record_generator(tmp_path):
+    original = sample_results()
+    path = write_csv((r for r in original), tmp_path / "gen.csv")
+    _assert_equal(original, read_csv(path))
+
+
+def test_json_lines_roundtrip(tmp_path):
+    from repro.measure.io import iter_json_lines, read_json_lines, write_json_lines
+
+    original = sample_results()
+    path = write_json_lines(original, tmp_path / "shard.jsonl")
+    assert path.read_text().count("\n") == len(original)
+    assert list(iter_json_lines(path)) == original.records
+    _assert_equal(original, read_json_lines(path))
+
+
+@given(records=st.lists(_records, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_json_lines_roundtrip_reproduces_every_field(tmp_path_factory,
+                                                     records):
+    from repro.measure.io import iter_json_lines, write_json_lines
+
+    original = ResultSet(records)
+    path = tmp_path_factory.mktemp("io") / "prop.jsonl"
+    assert list(iter_json_lines(write_json_lines(original, path))) == \
+        original.records
+
+
+# ---------------------------------------------------------------------------
+# unknown-column handling (PR 5 bugfix: no silent data loss)
+# ---------------------------------------------------------------------------
+
+_EXTRA_HEADER = (
+    "pt,category,target,kind,method,client,server,medium,duration_s,"
+    "ttfb_s,speed_index_s,status,bytes_expected,bytes_received,"
+    "repetition,sim_time_s,meta,vantage\n"
+    "tor,baseline,site0,website,curl,London,Frankfurt,wired,2.5,"
+    "0.8,,complete,1000.0,1000.0,1,17.25,,probe-7\n")
+
+
+def test_read_csv_folds_unknown_columns_into_meta(tmp_path):
+    """A hand-edited or newer-format file must not lose fields silently."""
+    path = tmp_path / "extra.csv"
+    path.write_text(_EXTRA_HEADER)
+    record = read_csv(path).records[0]
+    assert record.meta == {"vantage": "probe-7"}
+    assert record.duration_s == 2.5
+
+
+def test_read_csv_strict_raises_on_unknown_columns(tmp_path):
+    path = tmp_path / "extra.csv"
+    path.write_text(_EXTRA_HEADER)
+    with pytest.raises(ValueError, match="vantage"):
+        read_csv(path, strict=True)
+
+
+def test_unknown_column_does_not_clobber_explicit_meta(tmp_path):
+    path = tmp_path / "extra.csv"
+    path.write_text(
+        "pt,category,target,kind,method,client,server,medium,duration_s,"
+        "ttfb_s,speed_index_s,status,bytes_expected,bytes_received,"
+        "repetition,sim_time_s,meta,vantage\n"
+        "tor,baseline,site0,website,curl,London,Frankfurt,wired,2.5,"
+        "0.8,,complete,1000.0,1000.0,1,17.25,\"{\"\"vantage\"\": \"\"real\"\"}\","
+        "shadow\n")
+    record = read_csv(path).records[0]
+    # The explicit meta cell wins the key collision.
+    assert record.meta == {"vantage": "real"}
+
+
+def test_legacy_short_header_with_unknown_column(tmp_path):
+    """Missing trailing columns and an unknown one, together."""
+    path = tmp_path / "legacy-extra.csv"
+    path.write_text(
+        "pt,category,target,kind,method,client,server,medium,duration_s,"
+        "ttfb_s,speed_index_s,status,bytes_expected,bytes_received,"
+        "repetition,operator\n"
+        "tor,baseline,site0,website,curl,London,Frankfurt,wired,2.5,"
+        "0.8,,complete,1000.0,1000.0,1,alice\n")
+    record = read_csv(path).records[0]
+    assert record.sim_time_s == 0.0
+    assert record.meta == {"operator": "alice"}
+
+
+def test_rows_to_result_set_strict_flag():
+    from repro.measure.io import rows_to_result_set as r2rs
+
+    rows = sample_results().to_rows()
+    rows[0]["mystery"] = 1
+    assert r2rs(rows).records[0].meta == {"mystery": 1}
+    with pytest.raises(ValueError, match="mystery"):
+        r2rs(rows, strict=True)
+
+
+def test_invalid_enum_value_raises_value_error():
+    """Fast-path dict lookups still raise descriptive ValueError."""
+    from repro.measure.io import rows_to_result_set as r2rs
+
+    rows = sample_results().to_rows()
+    rows[0]["status"] = "bogus"
+    with pytest.raises(ValueError, match="bogus"):
+        r2rs(rows)
+
+
+def test_missing_enum_column_still_raises_key_error():
+    """A row lacking 'status' entirely reports the absent column, not a
+    bogus 'invalid enum value' message."""
+    from repro.measure.io import _record_from_row
+
+    rows = sample_results().to_rows()
+    del rows[0]["status"]
+    with pytest.raises(KeyError, match="status"):
+        _record_from_row(rows[0])

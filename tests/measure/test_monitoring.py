@@ -101,3 +101,64 @@ def test_anomaly_describe():
                       baseline_mean_s=3.0, z_score=4.2)
     text = anomaly.describe()
     assert "snowflake" in text and "week 5" in text and "z=4.2" in text
+
+
+# ---------------------------------------------------------------------------
+# fully-failed probe weeks (PR 5 bugfix)
+# ---------------------------------------------------------------------------
+
+
+def test_summarise_handles_fully_failed_week():
+    """An empty probe group must produce an n=0 sample, not a crash."""
+    import math
+
+    from repro.measure.records import ResultSet
+
+    sample = LongTermMonitor._summarise(4, "snowflake", ResultSet())
+    assert sample.n == 0
+    assert sample.failure_fraction == 1.0
+    assert math.isnan(sample.mean_s)
+    assert math.isnan(sample.p90_s)
+
+
+def test_detect_anomalies_flags_total_outage_weeks():
+    """n=0 weeks are flagged unconditionally and never join the baseline."""
+    import math
+
+    from repro.measure.monitoring import ProbeSample
+
+    monitor = LongTermMonitor(world=None, pts=("snowflake",))
+    monitor.samples = [
+        ProbeSample(week=w, pt="snowflake", mean_s=2.0, p90_s=3.0,
+                    failure_fraction=0.0, n=5)
+        for w in range(4)
+    ]
+    monitor.samples.append(ProbeSample(week=4, pt="snowflake",
+                                       mean_s=math.nan, p90_s=math.nan,
+                                       failure_fraction=1.0, n=0))
+    monitor.samples.append(ProbeSample(week=5, pt="snowflake", mean_s=2.1,
+                                       p90_s=3.1, failure_fraction=0.0, n=5))
+    anomalies = monitor.detect_anomalies()
+    assert [a.week for a in anomalies] == [4]
+    outage = anomalies[0]
+    assert outage.z_score == math.inf
+    assert math.isnan(outage.mean_s)
+    assert outage.baseline_mean_s == pytest.approx(2.0)
+    # The healthy week after the outage is judged against a baseline the
+    # NaN never polluted.
+    assert not [a for a in anomalies if a.week == 5]
+
+
+def test_outage_in_first_week_is_still_flagged():
+    """No baseline yet: a total outage is anomalous on its face."""
+    import math
+
+    from repro.measure.monitoring import ProbeSample
+
+    monitor = LongTermMonitor(world=None, pts=("x",))
+    monitor.samples = [ProbeSample(week=0, pt="x", mean_s=math.nan,
+                                   p90_s=math.nan, failure_fraction=1.0,
+                                   n=0)]
+    anomalies = monitor.detect_anomalies()
+    assert len(anomalies) == 1
+    assert math.isnan(anomalies[0].baseline_mean_s)

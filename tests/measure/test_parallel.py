@@ -128,3 +128,112 @@ def test_experiment_unit_rejects_to_experiment_result_in_matrix_mode():
     outcome = ParallelCampaign(_matrix_spec(), workers=1).run()
     with pytest.raises(ConfigError):
         outcome.units[0].to_experiment_result()
+
+
+# ---------------------------------------------------------------------------
+# spool mode (PR 5)
+# ---------------------------------------------------------------------------
+
+
+def test_spool_mode_matches_in_memory_merge(tmp_path):
+    spec = _matrix_spec(seeds=(3, 4),
+                        clients=[Cities.LONDON, Cities.TORONTO])
+    reference = ParallelCampaign(spec, workers=1).run()
+    spooled = ParallelCampaign(spec, workers=1,
+                               spool_dir=tmp_path / "spool",
+                               chunk_size=5).run()
+    assert spooled.merged is None
+    assert spooled.store is not None
+    assert spooled.load_merged().records == reference.merged.records
+    # The merged store serves the same reductions as the in-memory merge.
+    assert spooled.store.per_target_mean_table("duration_s") == \
+        reference.merged.per_target_mean_table("duration_s")
+    assert spooled.store.status_fractions_by_pt() == \
+        reference.merged.status_fractions_by_pt()
+
+
+def test_spool_mode_parallel_workers_bit_identical(tmp_path):
+    spec = _matrix_spec(seeds=(3, 4),
+                        clients=[Cities.LONDON, Cities.TORONTO])
+    reference = ParallelCampaign(spec, workers=1).run()
+    spooled = ParallelCampaign(spec, workers=2,
+                               spool_dir=tmp_path / "spool",
+                               chunk_size=7).run()
+    assert spooled.load_merged().records == reference.merged.records
+
+
+def test_spool_units_load_lazily(tmp_path):
+    spec = _matrix_spec(seeds=(3,))
+    reference = ParallelCampaign(spec, workers=1).run()
+    spooled = ParallelCampaign(spec, workers=1,
+                               spool_dir=tmp_path / "spool").run()
+    unit = spooled.units[0]
+    assert unit.results is None
+    assert unit.shard is not None and unit.shard.exists()
+    assert unit.load_results().records == reference.units[0].results.records
+    assert unit.perf == reference.units[0].perf
+
+
+def test_spool_experiment_mode_round_trips(tmp_path):
+    spec = CampaignSpec(seeds=(1, 2), experiment_id="fig10a")
+    reference = ParallelCampaign(spec, workers=1).run()
+    spooled = ParallelCampaign(spec, workers=1,
+                               spool_dir=tmp_path / "spool").run()
+    for ref_unit, spool_unit in zip(reference.units, spooled.units):
+        ref_result = ref_unit.to_experiment_result()
+        spool_result = spool_unit.to_experiment_result()
+        assert spool_result.metrics == ref_result.metrics
+        assert spool_result.results == ref_result.results  # both None here
+
+
+def test_spool_rejects_bad_chunk_size(tmp_path):
+    with pytest.raises(ConfigError):
+        ParallelCampaign(_matrix_spec(), spool_dir=tmp_path, chunk_size=0)
+
+
+def test_spooled_experiment_seeds_do_not_materialize_records(tmp_path):
+    """run_experiment_seeds in spool mode returns metrics-only results."""
+    from repro.core.config import Scale
+    from repro.core.experiments import run_experiment_seeds
+
+    spooled = run_experiment_seeds("fig2a", [1], scale=Scale.tiny(),
+                                   spool_dir=tmp_path / "spool")
+    in_memory = run_experiment_seeds("fig2a", [1], scale=Scale.tiny())
+    assert spooled[0].results is None              # records stay on disk
+    assert in_memory[0].results is not None
+    assert spooled[0].metrics == in_memory[0].metrics
+
+
+def test_spool_handles_duplicate_seeds(tmp_path):
+    """Repeated seeds get distinct unit shards (unit-indexed names) and
+    merge in unit order, exactly like the in-memory stable sort."""
+    spec = _matrix_spec(seeds=(3, 3))
+    reference = ParallelCampaign(spec, workers=1).run()
+    spooled = ParallelCampaign(spec, workers=1,
+                               spool_dir=tmp_path / "spool").run()
+    shards = {u.shard for u in spooled.units}
+    assert len(shards) == 2                    # no path collision
+    assert spooled.load_merged().records == reference.merged.records
+
+
+def test_spool_reuse_fails_before_any_unit_runs(tmp_path):
+    """A reused spool dir must error immediately, not after the run."""
+    spec = _matrix_spec()
+    ParallelCampaign(spec, workers=1, spool_dir=tmp_path / "sp").run()
+    campaign = ParallelCampaign(spec, workers=1, spool_dir=tmp_path / "sp")
+    before = {p.name for p in (tmp_path / "sp").iterdir()}
+    with pytest.raises(ConfigError):
+        campaign.run()
+    # Nothing was re-run or overwritten: directory contents untouched.
+    assert {p.name for p in (tmp_path / "sp").iterdir()} == before
+
+
+def test_spool_merged_store_len_is_free(tmp_path):
+    """The merge counts lines as it copies; len() must not re-read."""
+    spec = _matrix_spec(seeds=(3, 4))
+    spooled = ParallelCampaign(spec, workers=1,
+                               spool_dir=tmp_path / "spool",
+                               chunk_size=5).run()
+    assert spooled.store._shard_counts is not None   # seeded by the roll
+    assert len(spooled.store) == len(
+        ParallelCampaign(spec, workers=1).run().merged)

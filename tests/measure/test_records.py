@@ -218,3 +218,53 @@ def test_columnar_extraction_engine_equivalence():
     assert table_py == table_np
     assert grouped_py == grouped_np
     assert status_py == status_np
+
+
+# ---------------------------------------------------------------------------
+# columnar-cache invalidation (PR 5 bugfix)
+# ---------------------------------------------------------------------------
+
+
+def test_columns_cache_reused_until_mutation():
+    rs = ResultSet([rec()])
+    store = rs.columns()
+    assert rs.columns() is store          # no mutation: same store
+    rs.append(rec(pt="obfs4", category="fully encrypted"))
+    rebuilt = rs.columns()
+    assert rebuilt is not store           # append invalidated the cache
+    assert rebuilt.pts == ("tor", "obfs4")
+
+
+def test_columns_cache_invalidated_by_every_tracked_mutation():
+    """Version-counter invalidation: extend() rebuilds even when the
+    cached store was built from an equal-length snapshot elsewhere."""
+    rs = ResultSet([rec(pt="a", category="x"), rec(pt="b", category="y")])
+    assert rs.columns().pts == ("a", "b")
+    rs.extend([rec(pt="c", category="z")])
+    assert rs.columns().pts == ("a", "b", "c")
+
+
+def test_records_attribute_is_not_assignable():
+    """Equal-length swaps of .records cannot bypass the cache anymore."""
+    rs = ResultSet([rec()])
+    with pytest.raises(AttributeError):
+        rs.records = [rec(pt="obfs4", category="fully encrypted")]
+
+
+def test_in_place_record_replacement_is_caught_at_next_mutation():
+    """Direct .records mutation is unsupported (documented); the version
+    counter still converges at the next tracked mutation instead of
+    serving the stale store forever."""
+    rs = ResultSet([rec(pt="a", category="x"), rec(pt="b", category="y")])
+    assert rs.columns().pts == ("a", "b")
+    rs.records[1] = rec(pt="z", category="y")   # unsupported equal-length swap
+    rs.append(rec(pt="c", category="w"))
+    assert rs.columns().pts == ("a", "z", "c")
+
+
+def test_status_fractions_by_pt_delegate():
+    rs = ResultSet([rec(status=Status.COMPLETE),
+                    rec(status=Status.FAILED, received=0.0)])
+    fractions = rs.status_fractions_by_pt()
+    assert fractions["tor"][Status.COMPLETE] == pytest.approx(0.5)
+    assert fractions["tor"][Status.FAILED] == pytest.approx(0.5)
