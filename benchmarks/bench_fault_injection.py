@@ -1,0 +1,88 @@
+"""Fault-injection smoke: a faulted campaign merges bit-identically.
+
+CI's fault-tolerance gate (``.github/workflows/ci.yml``): a small
+spooled campaign runs under an explicit deterministic fault plan —
+a worker crash, a hung worker, a torn shard write, and silent shard
+corruption — plus a per-unit timeout to reap the hang. The assertions
+are the robustness contract itself: the merged output is bit-identical
+to a clean run, every fault shows up in the retry counters, and zero
+units are lost. Nothing here relies on wall-clock sleeps: crash and
+write faults fire synchronously, and the hang fault *never* completes,
+so whenever the timeout fires it reaps the right worker.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import WorldConfig
+from repro.measure import faults
+from repro.measure.ethics import PacingPolicy
+from repro.measure.parallel import CampaignSpec, ParallelCampaign, matrix_cells
+from repro.measure.supervise import RetryPolicy
+from repro.simnet.geo import Cities
+
+_FAST = PacingPolicy(gap_between_accesses_s=0.5, batch_size=0)
+_PTS = ("tor", "obfs4")
+_SEED = 2023
+
+#: Every fault kind, spread over distinct units' first attempts; the
+#: retries are clean, so the budget of 2 guarantees completion.
+_PLAN = faults.FaultPlan(faults=(
+    (0, 0, faults.CRASH),
+    (1, 0, faults.HANG),
+    (2, 0, faults.PARTIAL_WRITE),
+    (3, 0, faults.CORRUPT_SHARD),
+))
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        seeds=(_SEED, _SEED + 1),
+        base_config=WorldConfig(seed=_SEED, transports=_PTS,
+                                tranco_size=6, cbl_size=2),
+        pt_names=_PTS,
+        cells=matrix_cells([Cities.LONDON, Cities.TORONTO],
+                           [Cities.FRANKFURT]),
+        n_sites=4, repetitions=1, pacing=_FAST)
+
+
+def test_bench_fault_injection(benchmark, tmp_path):
+    spec = _spec()
+    reference = ParallelCampaign(spec, workers=1).run()
+    # The timeout bounds the bench's wall-clock (the hung worker sits
+    # there until it fires) while staying an order of magnitude above a
+    # real unit's ~1s runtime — generous enough for slow CI runners,
+    # and race-free regardless: the hang never completes on its own.
+    policy = RetryPolicy(retries=2, unit_timeout_s=20.0,
+                         backoff_base_s=0.0)
+
+    runs = [0]
+
+    def faulted_run():
+        runs[0] += 1
+        return ParallelCampaign(
+            spec, workers=2, spool_dir=tmp_path / f"spool-{runs[0]}",
+            retry=policy, fault_plan=_PLAN).run()
+
+    start = time.perf_counter()
+    outcome = benchmark.pedantic(faulted_run, rounds=1, iterations=1)
+    faulted_s = time.perf_counter() - start
+
+    # The robustness contract: four injected faults, zero lost units,
+    # zero changed bytes.
+    assert outcome.load_merged().records == reference.merged.records
+    assert not outcome.failed
+    execution = outcome.execution
+    assert execution["unit_retries"] == 4.0
+    assert execution["worker_crashes"] >= 2.0     # crash + partial-write
+    assert execution["unit_timeouts"] == 1.0      # the reaped hang
+    assert execution["corrupt_shards"] == 1.0     # digest mismatch caught
+
+    print(f"\nfault-injected campaign: {len(reference.merged)} measurements, "
+          f"4 units, faults {sorted(k for _, _, k in _PLAN.faults)}")
+    print(f"  wall-clock with faults + retries: {faulted_s:6.2f}s")
+    print("  retries {unit_retries:.0f}; crashes {worker_crashes:.0f}; "
+          "timeouts {unit_timeouts:.0f}; corrupt shards "
+          "{corrupt_shards:.0f}; workers spawned "
+          "{workers_spawned:.0f}".format(**execution))

@@ -16,6 +16,8 @@ Examples::
     python -m repro run fig2a --out-dir exports --chunk-size 50000
     python -m repro run fig2a --seeds 1 2 3 4 --workers 4 \
         --out-dir exports --spool
+    python -m repro run fig2a --seeds 1 2 3 4 --workers 4 \
+        --out-dir exports --spool --retries 3 --unit-timeout 120 --resume
     python -m repro compare tor obfs4 meek --sites 30
 """
 
@@ -26,7 +28,7 @@ import sys
 
 from repro.analysis import backend
 from repro.core.config import Scale
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnitsExhaustedError
 from repro.core.experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -50,10 +52,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _run_multi_seed(eid: str, seeds: list[int], workers: int,
                     scale: Scale, *, out_dir=None, spool_dir=None,
-                    chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                    chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    retries=None, unit_timeout_s=None,
+                    resume: bool = False) -> None:
     results = run_experiment_seeds(eid, seeds, scale=scale, workers=workers,
                                    spool_dir=spool_dir,
-                                   chunk_size=chunk_size)
+                                   chunk_size=chunk_size,
+                                   retries=retries,
+                                   unit_timeout_s=unit_timeout_s,
+                                   resume=resume)
     for seed, result in zip(seeds, results):
         print(f"\n-- seed {seed} --")
         print(result.comparison())
@@ -88,16 +95,22 @@ def _export_dir_of(out_dir, eid, seed=None):
     return Path(out_dir) / f"{eid}{suffix}"
 
 
-def _existing_export_dir(out_dir, experiments, seeds, spool):
+def _existing_export_dir(out_dir, experiments, seeds, spool,
+                         resume=False):
     """The first prospective export directory that is unusable — it
     already holds shards, or two seeds would write it (duplicate seeds
-    without spooling). None when every target is clean."""
+    without spooling). None when every target is clean. A ``--resume``
+    run *expects* its spool directory (merged shards included) to
+    exist — the campaign rebuilds the merge from the journal — so
+    spool candidates are exempt from the clobber guard then."""
     from repro.measure.parallel import MERGED_SUBDIR
     from repro.measure.store import ShardedResultStore
 
     candidates = []
     for eid in experiments:
         if seeds and spool:
+            if resume:
+                continue
             candidates.append(_spool_dir_of(out_dir, eid) / MERGED_SUBDIR)
         elif seeds:
             candidates.extend(_export_dir_of(out_dir, eid, seed)
@@ -149,6 +162,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.spool and not args.seeds:
         print("--spool applies to --seeds fan-outs", file=sys.stderr)
         return 2
+    if args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        print("--unit-timeout must be positive", file=sys.stderr)
+        return 2
+    if args.resume and not args.spool:
+        print("--resume needs --spool: only spooled campaigns keep a "
+              "durable unit journal to resume from", file=sys.stderr)
+        return 2
     try:
         backend.set_engine(args.analysis_engine)
     except ConfigError as exc:
@@ -162,7 +185,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # anything — the spool path pre-claims its merged store for the
         # same reason.
         clash = _existing_export_dir(args.out_dir, experiments,
-                                     args.seeds, args.spool)
+                                     args.seeds, args.spool,
+                                     resume=args.resume)
         if clash is not None:
             print(f"{clash} already contains shards (or duplicate --seeds "
                   "target it twice); pick a fresh --out-dir or fix the "
@@ -178,7 +202,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     if args.spool else None
                 _run_multi_seed(eid, args.seeds, args.workers, scale,
                                 out_dir=args.out_dir, spool_dir=spool_dir,
-                                chunk_size=args.chunk_size)
+                                chunk_size=args.chunk_size,
+                                retries=args.retries,
+                                unit_timeout_s=args.unit_timeout,
+                                resume=args.resume)
                 continue
             result = perf.run(eid)
             header = f"{eid}: {result.title} ({EXPERIMENTS[eid].paper_ref})"
@@ -188,6 +215,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(result.comparison())
             if args.out_dir is not None:
                 _export_results(result, args.out_dir, args.chunk_size)
+    except UnitsExhaustedError as exc:
+        # Strict fan-out with units past their retry budget: the spool
+        # (if any) stays resumable — say so instead of a traceback.
+        print(str(exc), file=sys.stderr)
+        if args.spool:
+            print("completed units are journaled; re-run with --resume "
+                  "to retry only the failed ones", file=sys.stderr)
+        return 1
     except ConfigError as exc:
         # E.g. --out-dir / --spool pointing at a directory that already
         # holds shards: a clean message, not a traceback.
@@ -241,6 +276,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="with --seeds and --out-dir: workers spill their "
                           "records to shard files instead of shipping them "
                           "through the process pool (bounded-memory merge)")
+    run.add_argument("--retries", type=int, default=2,
+                     help="re-runs granted to a crashed/hung/failed work "
+                          "unit before it is reported as exhausted "
+                          "(default: 2)")
+    run.add_argument("--unit-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock ceiling per unit attempt; the worker "
+                          "is killed and the unit retried (multi-worker "
+                          "runs only)")
+    run.add_argument("--resume", action="store_true",
+                     help="with --spool: replay the spool's unit journal, "
+                          "adopt intact shards, and re-run only missing "
+                          "units (crash-safe continuation)")
 
     compare = sub.add_parser("compare", help="quick PT comparison")
     compare.add_argument("pts", nargs="+", help="transport names")

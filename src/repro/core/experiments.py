@@ -125,6 +125,10 @@ def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,
                          workers: int = 1,
                          spool_dir=None,
                          chunk_size: Optional[int] = None,
+                         retries: Optional[int] = None,
+                         unit_timeout_s: Optional[float] = None,
+                         resume: bool = False,
+                         strict: bool = True,
                          ) -> list[ExperimentResult]:
     """Run one experiment at several seeds, fanned across workers.
 
@@ -139,8 +143,19 @@ def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,
     spool shards and the merged store under ``spool_dir``, so a
     many-seed fan-out never re-materializes every seed's record set in
     this process.
+
+    Execution is supervised (``docs/fault-tolerance.md``): ``retries``
+    and ``unit_timeout_s`` override the default
+    :class:`~repro.measure.supervise.RetryPolicy`; ``resume=True``
+    (spool mode only) replays the unit journal under ``spool_dir`` and
+    re-runs only missing seeds. The default here is ``strict=True`` —
+    this function's contract is one result *per requested seed*, so a
+    seed that exhausts its retry budget raises
+    :class:`~repro.errors.UnitsExhaustedError` rather than silently
+    returning a shorter list.
     """
     from repro.measure.parallel import CampaignSpec, ParallelCampaign
+    from repro.measure.supervise import RetryPolicy
 
     if experiment_id not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
@@ -150,7 +165,12 @@ def run_experiment_seeds(experiment_id: str, seeds: Iterable[int], *,
     spec = CampaignSpec(seeds=tuple(seeds), experiment_id=experiment_id,
                         scale=scale or Scale.small())
     campaign_args = {} if chunk_size is None else {"chunk_size": chunk_size}
+    if retries is not None or unit_timeout_s is not None:
+        campaign_args["retry"] = RetryPolicy(
+            **({} if retries is None else {"retries": retries}),
+            unit_timeout_s=unit_timeout_s)
     outcome = ParallelCampaign(spec, workers=workers, spool_dir=spool_dir,
+                               strict=strict, resume=resume,
                                **campaign_args).run()
     by_seed = {unit.seed: unit.to_experiment_result(
                    load_records=outcome.store is None)

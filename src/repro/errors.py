@@ -56,6 +56,26 @@ class ConfigError(ReproError):
     """An experiment or world configuration is invalid."""
 
 
+class UnitsExhaustedError(ReproError):
+    """Campaign work units exhausted their retry budget (strict mode).
+
+    The supervised campaign driver degrades gracefully by default —
+    exhausted units become ``FailedUnit`` reports on the outcome — but
+    with ``strict=True`` it raises this instead. ``failed`` carries the
+    per-unit reports (seed, cell, attempts, failure history).
+    """
+
+    def __init__(self, failed) -> None:
+        failed = list(failed)
+        summary = "; ".join(
+            f"unit {f.unit_index} (seed {f.seed}, cell {f.cell_index}): "
+            f"{f.reason} after {f.attempts} attempt(s)" for f in failed)
+        super().__init__(
+            f"{len(failed)} work unit(s) exhausted their retry budget: "
+            f"{summary}")
+        self.failed = failed
+
+
 class CircuitError(ReproError):
     """A Tor circuit could not be constructed or used."""
 

@@ -2,6 +2,7 @@
 
 from repro.measure.campaign import CampaignRunner
 from repro.measure.ethics import DEFAULT_PACING, OVERLOAD_PACING, PacingPolicy
+from repro.measure.faults import FaultPlan
 from repro.measure.locations import (
     LocationCell,
     location_matrix,
@@ -33,6 +34,12 @@ from repro.measure.records import (
     record_to_row,
 )
 from repro.measure.store import ChunkedColumnStore, ShardedResultStore
+from repro.measure.supervise import (
+    FailedUnit,
+    RetryPolicy,
+    Supervisor,
+    UnitJournal,
+)
 from repro.measure.surge import (
     POST_SEPTEMBER_MONTHS,
     PRE_SEPTEMBER_MONTHS,
@@ -46,12 +53,13 @@ from repro.measure.surge import (
 __all__ = [
     "Anomaly", "CampaignOutcome", "CampaignRunner", "CampaignSpec",
     "CellSpec", "ChunkedColumnStore", "ColumnStore", "DEFAULT_PACING",
-    "GroupedValues", "LocationCell", "LongTermMonitor",
-    "MeasurementRecord", "Method", "OVERLOAD_PACING",
+    "FailedUnit", "FaultPlan", "GroupedValues", "LocationCell",
+    "LongTermMonitor", "MeasurementRecord", "Method", "OVERLOAD_PACING",
     "POST_SEPTEMBER_MONTHS", "PRE_SEPTEMBER_MONTHS", "PacingPolicy",
-    "ParallelCampaign", "ProbeSample", "ResultSet",
-    "SNOWFLAKE_USER_TIMELINE", "ShardedResultStore", "SurgePoint",
-    "TargetKind", "UnitResult", "WorkUnit", "iran_protest_schedule",
+    "ParallelCampaign", "ProbeSample", "ResultSet", "RetryPolicy",
+    "SNOWFLAKE_USER_TIMELINE", "ShardedResultStore", "Supervisor",
+    "SurgePoint", "TargetKind", "UnitJournal", "UnitResult", "WorkUnit",
+    "iran_protest_schedule",
     "location_matrix", "matrix_cells", "mean_by_client", "ordering_by_cell",
     "post_september_level", "pre_september_level", "record_to_row",
     "surge_level_for",

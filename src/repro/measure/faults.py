@@ -1,0 +1,212 @@
+"""Deterministic fault injection for campaign work units.
+
+PTPerf's headline dataset comes from months of continuous live
+measurement in which probes crash, transports hang, and hosts die.
+Reproducing that operational reality requires the failure paths of the
+campaign layer to be *testable* — and testable means deterministic: a
+CI run must be able to crash exactly unit 3 on exactly its first
+attempt, every time, with zero reliance on wall-clock races.
+
+A :class:`FaultPlan` is a finite map from ``(unit_index, attempt)`` to
+a fault kind. The supervisor (``repro.measure.supervise``) consults it
+immediately before executing an attempt (``crash``/``hang``), and the
+spooling unit runner consults it around the shard write
+(``partial-write``/``corrupt-shard``). Because the key includes the
+attempt number, a fault can be injected on the first attempt and
+cleared on the retry — the canonical crash-then-recover test shape.
+
+Fault kinds:
+
+``crash``
+    The worker dies without reporting (``os._exit`` in a child
+    process; :class:`InjectedCrash` in the in-process ``workers=1``
+    path). Models OOM kills and segfaulting transports.
+``hang``
+    The worker blocks forever (a never-set ``threading.Event`` in a
+    child — only the supervisor's unit timeout can reap it; the
+    in-process path raises :class:`InjectedHang`, which the inline
+    supervisor counts as a timeout since it cannot preempt itself).
+``partial-write``
+    Spool mode only: half of the serialized shard bytes land at the
+    *final* shard path — bypassing the atomic tmp-then-rename write,
+    exactly the torn file a pre-atomic worker kill used to leave —
+    and then the worker crashes.
+``corrupt-shard``
+    Spool mode only: the unit completes, writes and digests a valid
+    shard, then garbage is appended *after* the digest was taken.
+    Models silent on-disk corruption; caught by the parent's digest
+    verification, never by the worker.
+
+Activation is explicit (``ParallelCampaign(fault_plan=...)``) or via
+the environment hook ``REPRO_FAULT_PLAN`` (the plan's JSON form),
+which is how CI smoke tests and the SIGKILL-resume integration test
+inject faults into an unmodified CLI/driver process.
+
+``kill_parent_after=N`` is the one parent-side fault: the campaign
+SIGKILLs *itself* immediately after journaling its N-th completed
+unit. It turns "kill -9 the campaign mid-run" into a deterministic,
+schedulable event for resume tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+CRASH = "crash"
+HANG = "hang"
+PARTIAL_WRITE = "partial-write"
+CORRUPT_SHARD = "corrupt-shard"
+
+KINDS = frozenset({CRASH, HANG, PARTIAL_WRITE, CORRUPT_SHARD})
+
+#: Exit status of an injected child crash — distinctive in supervisor
+#: failure reasons, so logs distinguish injected faults from real ones.
+CRASH_EXIT = 70
+
+#: Environment variable carrying a JSON fault plan into workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class InjectedCrash(Exception):
+    """In-process stand-in for a worker crash (``workers=1`` path)."""
+
+
+class InjectedHang(Exception):
+    """In-process stand-in for a hung worker (``workers=1`` path)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    ``faults`` maps ``(unit_index, attempt)`` — both 0-based — to a
+    fault kind; at most one fault per key. ``kill_parent_after``
+    SIGKILLs the campaign parent right after it journals its N-th
+    completed unit of the run (see module docstring).
+    """
+
+    faults: tuple[tuple[int, int, str], ...] = ()
+    kill_parent_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for unit_index, attempt, kind in self.faults:
+            if kind not in KINDS:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r}; known: {sorted(KINDS)}")
+            if unit_index < 0 or attempt < 0:
+                raise ConfigError(
+                    "fault unit_index and attempt must be >= 0")
+            if (unit_index, attempt) in seen:
+                raise ConfigError(
+                    f"duplicate fault for unit {unit_index} "
+                    f"attempt {attempt}")
+            seen.add((unit_index, attempt))
+        if self.kill_parent_after is not None and self.kill_parent_after < 1:
+            raise ConfigError("kill_parent_after must be >= 1")
+
+    def fault_for(self, unit_index: int, attempt: int) -> Optional[str]:
+        """The fault kind scheduled for this (unit, attempt), if any."""
+        for unit, att, kind in self.faults:
+            if unit == unit_index and att == attempt:
+                return kind
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.faults) or self.kill_parent_after is not None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def seeded(cls, seed: int, n_units: int, *, rate: float = 0.3,
+               kinds: tuple[str, ...] = (CRASH, HANG, PARTIAL_WRITE,
+                                         CORRUPT_SHARD),
+               max_faulted_attempts: int = 1) -> "FaultPlan":
+        """A reproducible random plan: same seed, same faults.
+
+        Each unit independently draws whether each of its first
+        ``max_faulted_attempts`` attempts faults (probability
+        ``rate``) and which kind it suffers. Faulting only a bounded
+        prefix of attempts guarantees every unit eventually succeeds
+        when the retry budget covers ``max_faulted_attempts``.
+        """
+        for kind in kinds:
+            if kind not in KINDS:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r}; known: {sorted(KINDS)}")
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigError("fault rate must be in [0, 1]")
+        rng = random.Random(seed)
+        faults = []
+        for unit_index in range(n_units):
+            for attempt in range(max_faulted_attempts):
+                if rng.random() < rate:
+                    faults.append((unit_index, attempt, rng.choice(kinds)))
+        return cls(faults=tuple(faults))
+
+    # -- serialization (the env hook's wire format) ---------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "faults": [list(f) for f in self.faults],
+            "kill_parent_after": self.kill_parent_after,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+            faults = tuple((int(u), int(a), str(k))
+                           for u, a, k in payload.get("faults", ()))
+            kill = payload.get("kill_parent_after")
+        except (ValueError, TypeError) as exc:
+            raise ConfigError(f"invalid fault plan JSON: {exc}") from None
+        return cls(faults=faults,
+                   kill_parent_after=None if kill is None else int(kill))
+
+    def to_env(self, env: Optional[dict] = None) -> dict:
+        """Set the env hook in ``env`` (default: this process's)."""
+        target = os.environ if env is None else env
+        target[FAULT_PLAN_ENV] = self.to_json()
+        return target
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan from ``REPRO_FAULT_PLAN``, or None when unset."""
+        text = os.environ.get(FAULT_PLAN_ENV)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+def trigger_pre(plan: Optional[FaultPlan], unit_index: int, attempt: int,
+                *, in_child: bool) -> None:
+    """Fire a scheduled crash/hang fault before a unit attempt runs.
+
+    In a worker child a crash is a real unreported death
+    (``os._exit``) and a hang really blocks — only the supervisor's
+    timeout reaps it, which is exactly the code path under test. The
+    in-process path cannot preempt or survive either, so it raises the
+    Injected* marker exceptions for the inline supervisor to classify.
+    Write-phase faults (``partial-write``/``corrupt-shard``) are
+    handled by the spooling unit runner, not here.
+    """
+    if plan is None:
+        return
+    kind = plan.fault_for(unit_index, attempt)
+    if kind == CRASH:
+        if in_child:
+            os._exit(CRASH_EXIT)
+        raise InjectedCrash(f"unit {unit_index} attempt {attempt}")
+    if kind == HANG:
+        if in_child:
+            threading.Event().wait()  # forever: the timeout must reap us
+        raise InjectedHang(f"unit {unit_index} attempt {attempt}")

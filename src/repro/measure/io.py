@@ -24,7 +24,9 @@ bit-identically.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
@@ -209,6 +211,17 @@ def read_json(path: str | Path, *, strict: bool = False) -> ResultSet:
                               strict=strict)
 
 
+def row_lines(results: Records) -> Iterator[str]:
+    """Records as JSONL lines (trailing newline included), streamed.
+
+    The one serialization every shard writer shares — the spool merge
+    copies raw lines between files, so bit-identity across write paths
+    is only guaranteed because they all emit exactly these bytes.
+    """
+    for record in _iter_records(results):
+        yield json.dumps(record_to_row(record), sort_keys=True) + "\n"
+
+
 def write_json_lines(results: Records, path: str | Path) -> Path:
     """Write records as JSONL (the streaming store's shard format).
 
@@ -217,10 +230,45 @@ def write_json_lines(results: Records, path: str | Path) -> Path:
     """
     path = Path(path)
     with path.open("w") as handle:
-        for record in _iter_records(results):
-            handle.write(json.dumps(record_to_row(record), sort_keys=True))
-            handle.write("\n")
+        for line in row_lines(results):
+            handle.write(line)
     return path
+
+
+def write_shard(results: Records, path: str | Path) -> tuple[int, str]:
+    """Atomically write a JSONL shard; return ``(n_rows, sha256 hex)``.
+
+    The bytes land in ``<name>.tmp`` first, are flushed and fsynced,
+    then :func:`os.replace`'d into place — a writer killed at any
+    instant leaves either the complete shard or no shard at the final
+    path, never a truncated one (the stale ``.tmp`` is simply
+    overwritten by the retry). The digest fingerprints the exact bytes
+    on disk, so readers (the supervisor's verify hook, journal resume)
+    can prove a shard is intact without trusting the filesystem.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    digest = hashlib.sha256()
+    n_rows = 0
+    with tmp.open("wb") as handle:
+        for line in row_lines(results):
+            data = line.encode()
+            digest.update(data)
+            handle.write(data)
+            n_rows += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return n_rows, digest.hexdigest()
+
+
+def file_digest(path: str | Path) -> str:
+    """sha256 hex digest of a file's bytes (shard integrity checks)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 def iter_json_lines(path: str | Path, *,

@@ -34,13 +34,22 @@ def location_matrix(base_config: WorldConfig, pt_names: Iterable[str], *,
                     clients: list[City] | None = None,
                     servers: list[City] | None = None,
                     pacing: Optional[PacingPolicy] = None,
-                    workers: int = 1) -> list[LocationCell]:
+                    workers: int = 1,
+                    retries: Optional[int] = None,
+                    unit_timeout_s: Optional[float] = None,
+                    ) -> list[LocationCell]:
     """Run the website campaign for every client/server combination.
 
     Each cell is an independent world, so the matrix fans out through
     :class:`~repro.measure.parallel.ParallelCampaign`; ``workers=1``
     (the default) runs the cells in-process in row-major order, exactly
-    like the historical serial loop.
+    like the historical serial loop. Execution is supervised:
+    ``retries``/``unit_timeout_s`` override the default
+    :class:`~repro.measure.supervise.RetryPolicy`, and the campaign
+    runs strict — the return contract is one cell per combination, so
+    an exhausted cell raises
+    :class:`~repro.errors.UnitsExhaustedError` rather than returning a
+    matrix with a hole in it.
     """
     clients = clients or Cities.client_cities()
     servers = servers or Cities.server_cities()
@@ -54,7 +63,15 @@ def location_matrix(base_config: WorldConfig, pt_names: Iterable[str], *,
         method=Method.CURL,
         pacing=pacing or DEFAULT_PACING,
     )
-    outcome = ParallelCampaign(spec, workers=workers).run()
+    campaign_args = {}
+    if retries is not None or unit_timeout_s is not None:
+        from repro.measure.supervise import RetryPolicy
+
+        campaign_args["retry"] = RetryPolicy(
+            **({} if retries is None else {"retries": retries}),
+            unit_timeout_s=unit_timeout_s)
+    outcome = ParallelCampaign(spec, workers=workers, strict=True,
+                               **campaign_args).run()
     return [LocationCell(client=unit.cell.client, server=unit.cell.server,
                          results=unit.results)
             for unit in outcome.units]

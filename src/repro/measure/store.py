@@ -30,6 +30,7 @@ counts merge exactly; sorting/grouping are exact operations. See
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
@@ -52,6 +53,40 @@ from repro.web.types import Status
 DEFAULT_CHUNK_SIZE = 100_000
 
 _SHARD_GLOB = "shard-*.jsonl"
+
+#: Bytes read from the end of a shard when validating its tail. Shard
+#: lines are single JSON row objects, far below this bound.
+_TAIL_PROBE = 1 << 20
+
+
+def _shard_tail_valid(path: Path) -> bool:
+    """Whether a shard file ends in a complete, parseable JSONL line.
+
+    A shard written through the atomic path is either whole or absent,
+    but stores written by older code (or copied around carelessly) can
+    end in a torn line. Torn writes only ever damage the *tail* —
+    JSONL is append-only — so checking the last line is a complete
+    integrity probe for that failure mode, at a bounded read cost.
+    An empty shard is valid (zero records).
+    """
+    size = path.stat().st_size
+    if size == 0:
+        return True
+    probe = min(size, _TAIL_PROBE)
+    with path.open("rb") as handle:
+        handle.seek(size - probe)
+        tail = handle.read(probe)
+    if not tail.endswith(b"\n"):
+        return False
+    body = tail.rstrip(b"\n")
+    if size > probe and b"\n" not in body:
+        return False  # a "line" longer than the probe is not our format
+    last = body.rsplit(b"\n", 1)[-1]
+    try:
+        obj = json.loads(last)
+    except ValueError:
+        return False
+    return isinstance(obj, dict)
 
 
 class ChunkedColumnStore:
@@ -301,20 +336,57 @@ class ShardedResultStore:
         self._version = 0
         self._columns: Optional[ChunkedColumnStore] = None
         self._columns_version = -1
+        #: Shards :meth:`open` renamed aside as damaged (``*.corrupt``).
+        self.quarantined: tuple[Path, ...] = ()
 
     @classmethod
     def open(cls, directory: str | Path, *,
              chunk_size: int = DEFAULT_CHUNK_SIZE,
              shard_counts: Optional[Sequence[int]] = None,
-             ) -> "ShardedResultStore":
+             validate: bool = True) -> "ShardedResultStore":
         """Attach to a directory of previously written shards.
+
+        With ``validate=True`` (the default) each shard's tail is
+        checked first (see :func:`_shard_tail_valid`); a damaged shard
+        is *quarantined* — renamed to ``<name>.corrupt``, out of the
+        shard glob — instead of crashing the first reduction that
+        streams into the torn line. Quarantined paths are reported on
+        ``store.quarantined`` so callers can surface the data loss;
+        the store carries on with the intact shards.
 
         ``shard_counts`` lets a caller that just wrote the shards (and
         therefore knows the per-shard record counts) seed the lazy
         ``len()`` bookkeeping instead of paying a line-count pass; it
-        must have one entry per shard file.
+        must have one entry per shard file. Counts and quarantine are
+        mutually exclusive: a writer that knows its counts wrote the
+        shards *now*, so a damaged one means the counts are wrong too
+        — that is an error, not a degradation.
         """
+        directory = Path(directory)
+        quarantined: list[Path] = []
+        next_index = 0
+        if validate and directory.is_dir():
+            shards = sorted(directory.glob(_SHARD_GLOB),
+                            key=lambda p: int(p.stem.split("-", 1)[1]))
+            if shards:
+                # Claim the numbering of *every* pre-quarantine shard:
+                # a later spill must never mint the index of a shard
+                # that was just renamed aside.
+                next_index = int(shards[-1].stem.split("-", 1)[1]) + 1
+            for path in shards:
+                if not _shard_tail_valid(path):
+                    target = path.with_name(path.name + ".corrupt")
+                    path.replace(target)
+                    quarantined.append(target)
+        if quarantined and shard_counts is not None:
+            raise ConfigError(
+                f"{len(quarantined)} shard(s) in {directory} are corrupt "
+                f"({', '.join(p.name for p in quarantined)}) but "
+                "shard_counts was supplied — the writer's bookkeeping "
+                "no longer matches the directory")
         store = cls(directory, chunk_size=chunk_size, _adopt_existing=True)
+        store.quarantined = tuple(quarantined)
+        store._next_shard_index = max(store._next_shard_index, next_index)
         if shard_counts is not None:
             if len(shard_counts) != len(store._shards):
                 raise ConfigError(
@@ -353,7 +425,9 @@ class ShardedResultStore:
             return
         path = self.directory / f"shard-{self._next_shard_index:05d}.jsonl"
         self._next_shard_index += 1
-        measure_io.write_json_lines(self._buffer, path)
+        # Atomic (tmp + fsync + rename): a process killed mid-spill
+        # leaves no torn shard for the next open() to quarantine.
+        measure_io.write_shard(self._buffer, path)
         self._shards.append(path)
         if self._shard_counts is not None:
             self._shard_counts.append(len(self._buffer))

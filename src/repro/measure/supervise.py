@@ -1,0 +1,547 @@
+"""Supervised, fault-tolerant execution of campaign work units.
+
+PTPerf's live campaigns ran for months; probes timed out, transports
+wedged, hosts died. The original ``pool.map`` fan-out was
+all-or-nothing by contrast: one crashed or hung worker discarded every
+completed unit. This module is the execution core that survives those
+failure modes:
+
+* :class:`Supervisor` drives independent work units across worker
+  processes **one process per attempt** (``apply_async``-style, never
+  a blocking map): it detects worker death the instant the result
+  pipe closes, enforces a per-unit wall-clock timeout, retries
+  failed/hung/crashed units with exponential backoff under a bounded
+  attempt budget, and refills the freed worker slot with a fresh
+  process — dead workers are replaced by construction. Units that
+  exhaust their budget come back as :class:`FailedUnit` reports, not
+  exceptions; callers choose strictness.
+* :class:`UnitJournal` is a durable append-only JSONL journal of
+  completed units (fsynced per entry). A campaign killed at any point
+  — including SIGKILL — resumes by replaying the journal: intact
+  entries are adopted, a torn trailing line (the only line a kill can
+  tear, since the journal is append-only) is dropped and truncated
+  away, and only missing units re-run.
+
+The ``workers=1`` path runs attempts inline in the parent — the
+debuggable reference path. It cannot preempt itself, so real timeouts
+are process-mode only; injected hangs (see ``repro.measure.faults``)
+raise immediately and are classified as timeouts, keeping every
+failure path testable at both worker counts.
+
+Determinism contract: the supervisor never changes *what* a unit
+computes, only *when and how often* it runs. Units are pure functions
+of their spec, so a retried unit reproduces its payload bit for bit,
+and completion order never matters — callers merge by unit key.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.measure import faults as faults_mod
+
+#: Seconds granted to a worker that already reported (or died) to be
+#: joined before it is killed outright.
+_JOIN_GRACE_S = 5.0
+
+#: Counter keys the supervisor always reports (zeroed), so perf
+#: summaries have a stable schema whether or not anything failed.
+COUNTER_KEYS = (
+    "unit_retries", "unit_timeouts", "worker_crashes", "unit_errors",
+    "corrupt_shards", "failed_units", "workers_spawned",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout knobs for supervised unit execution.
+
+    ``retries`` is the number of *re*-runs after the first attempt
+    (total attempt budget = retries + 1). ``unit_timeout_s`` is a
+    wall-clock ceiling per attempt, enforced by terminating the worker
+    process (process mode only — the inline path cannot preempt).
+    Backoff before the n-th re-launch is
+    ``min(base * factor**(n-1), max)``; the inline path skips the
+    sleep entirely (there is no concurrent work to yield to, and
+    determinism beats politeness in-process).
+    """
+
+    retries: int = 2
+    unit_timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.unit_timeout_s is not None and self.unit_timeout_s <= 0:
+            raise ConfigError("unit_timeout_s must be positive")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    def backoff_s(self, failed_attempts: int) -> float:
+        """Delay before relaunching after ``failed_attempts`` failures."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(self.backoff_base_s *
+                   self.backoff_factor ** max(0, failed_attempts - 1),
+                   self.backoff_max_s)
+
+
+@dataclass(frozen=True)
+class UnitJob:
+    """One schedulable unit: its identity plus the runner's arguments."""
+
+    unit_index: int
+    seed: int
+    cell_index: int
+    args: object
+
+
+@dataclass(frozen=True)
+class FailedUnit:
+    """A unit that exhausted its attempt budget — the degradation report.
+
+    ``reason`` is the final attempt's failure; ``history`` records
+    every attempt's failure reason in order, so post-mortems see the
+    whole trajectory (e.g. crash, crash, timeout).
+    """
+
+    unit_index: int
+    seed: int
+    cell_index: int
+    attempts: int
+    reason: str
+    history: tuple[str, ...]
+
+
+@dataclass
+class SupervisorResult:
+    """Everything a supervised run produced."""
+
+    payloads: dict[int, object]        # unit_index -> runner payload
+    failures: list[FailedUnit]
+    counters: dict[str, float]
+
+
+def new_counters() -> dict[str, float]:
+    return {key: 0.0 for key in COUNTER_KEYS}
+
+
+def _kill_process(proc: multiprocessing.process.BaseProcess) -> None:
+    """Terminate, then escalate to SIGKILL — deterministic teardown."""
+    if not proc.is_alive():
+        proc.join(_JOIN_GRACE_S)
+        return
+    proc.terminate()
+    proc.join(_JOIN_GRACE_S)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+
+
+def _child_main(conn, fn, job: UnitJob, attempt: int, fault_plan) -> None:
+    """Worker-process entry: run one attempt, report through the pipe.
+
+    Every exit path is explicit: success sends ``("ok", payload)``,
+    an exception sends ``("error", message)``, and an injected crash
+    (or a real one) sends nothing — the parent sees EOF on the pipe
+    the moment the process dies, which is the crash signal.
+    """
+    faults_mod.trigger_pre(fault_plan, job.unit_index, attempt,
+                           in_child=True)
+    try:
+        payload = fn(job.args, attempt, True)
+    except BaseException as exc:  # noqa: BLE001 - must report, then die
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        os._exit(1)
+    try:
+        conn.send(("ok", payload))
+        conn.close()
+    except Exception:
+        os._exit(1)
+    os._exit(0)
+
+
+@dataclass
+class _Attempt:
+    proc: multiprocessing.process.BaseProcess
+    job: UnitJob
+    attempt: int                 # 1-based
+    deadline: Optional[float]    # monotonic, None = no timeout
+
+
+class Supervisor:
+    """Drives unit jobs to completion under retries, timeouts, faults.
+
+    ``fn(args, attempt, in_child)`` executes one attempt and returns a
+    payload. ``verify(job, payload)`` (optional) inspects a payload in
+    the parent and returns a failure reason to force a retry — the
+    hook the campaign layer uses for shard digest verification.
+    ``on_success(job, payload, attempts)`` (optional) fires exactly
+    once per completed unit, in completion order, *before* the next
+    completion is processed — the journal hook.
+    """
+
+    def __init__(self, fn: Callable, jobs: list[UnitJob], *,
+                 workers: int = 1,
+                 policy: Optional[RetryPolicy] = None,
+                 fault_plan=None,
+                 verify: Optional[Callable] = None,
+                 on_success: Optional[Callable] = None) -> None:
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        self.fn = fn
+        self.jobs = list(jobs)
+        self.workers = workers
+        self.policy = policy or RetryPolicy()
+        self.fault_plan = fault_plan
+        self.verify = verify
+        self.on_success = on_success
+
+    def run(self) -> SupervisorResult:
+        result = SupervisorResult(payloads={}, failures=[],
+                                  counters=new_counters())
+        self._history: dict[int, list[str]] = {}
+        if not self.jobs:
+            return result
+        if self.workers == 1:
+            self._run_inline(result)
+        else:
+            self._run_processes(result)
+        result.failures.sort(key=lambda f: f.unit_index)
+        return result
+
+    # -- shared failure bookkeeping ------------------------------------
+
+    def _record_failure(self, result: SupervisorResult, job: UnitJob,
+                        attempt: int, reason: str,
+                        counter: str) -> Optional[float]:
+        """Count one failed attempt.
+
+        Returns the backoff delay before the next attempt, or None
+        when the budget is exhausted (the unit becomes a FailedUnit).
+        """
+        result.counters[counter] += 1
+        history = self._history.setdefault(job.unit_index, [])
+        history.append(reason)
+        if attempt > self.policy.retries:
+            result.counters["failed_units"] += 1
+            result.failures.append(FailedUnit(
+                unit_index=job.unit_index, seed=job.seed,
+                cell_index=job.cell_index, attempts=attempt,
+                reason=reason, history=tuple(history)))
+            return None
+        result.counters["unit_retries"] += 1
+        return self.policy.backoff_s(attempt)
+
+    def _complete(self, result: SupervisorResult, job: UnitJob,
+                  payload, attempt: int) -> Optional[str]:
+        """Verify and commit one successful payload.
+
+        Returns a failure reason when verification rejects it."""
+        if self.verify is not None:
+            reason = self.verify(job, payload)
+            if reason is not None:
+                return reason
+        result.payloads[job.unit_index] = payload
+        if self.on_success is not None:
+            self.on_success(job, payload, attempt)
+        return None
+
+    # -- inline mode (workers=1) ---------------------------------------
+
+    def _run_inline(self, result: SupervisorResult) -> None:
+        for job in self.jobs:
+            attempt = 0
+            while True:
+                attempt += 1
+                reason: Optional[str] = None
+                counter = "corrupt_shards"
+                try:
+                    faults_mod.trigger_pre(self.fault_plan, job.unit_index,
+                                           attempt - 1, in_child=False)
+                    payload = self.fn(job.args, attempt - 1, False)
+                except faults_mod.InjectedCrash:
+                    reason, counter = "worker crashed (injected)", \
+                        "worker_crashes"
+                except faults_mod.InjectedHang:
+                    reason, counter = "timeout (injected hang)", \
+                        "unit_timeouts"
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - unit fault barrier
+                    reason = f"error: {type(exc).__name__}: {exc}"
+                    counter = "unit_errors"
+                else:
+                    reason = self._complete(result, job, payload, attempt)
+                    if reason is None:
+                        break
+                if self._record_failure(result, job, attempt, reason,
+                                        counter) is None:
+                    break
+                # No backoff sleep inline: there is no concurrent work
+                # to yield to, and sleeping would only slow tests.
+
+    # -- process mode (workers>1) --------------------------------------
+
+    def _run_processes(self, result: SupervisorResult) -> None:
+        ctx = multiprocessing.get_context()
+        policy = self.policy
+        ready: deque[tuple[UnitJob, int]] = deque(
+            (job, 1) for job in self.jobs)
+        delayed: list[tuple[float, int, UnitJob, int]] = []
+        seq = 0
+        running: dict[object, _Attempt] = {}
+        try:
+            while ready or delayed or running:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, job, attempt = heapq.heappop(delayed)
+                    ready.append((job, attempt))
+                while ready and len(running) < self.workers:
+                    job, attempt = ready.popleft()
+                    recv_end, send_end = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_child_main,
+                        args=(send_end, self.fn, job, attempt - 1,
+                              self.fault_plan),
+                        daemon=True)
+                    proc.start()
+                    send_end.close()
+                    result.counters["workers_spawned"] += 1
+                    deadline = (None if policy.unit_timeout_s is None
+                                else time.monotonic() + policy.unit_timeout_s)
+                    running[recv_end] = _Attempt(proc, job, attempt, deadline)
+                if not running:
+                    # Only backoff-delayed work remains: wait it out.
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                wakeups = [a.deadline for a in running.values()
+                           if a.deadline is not None]
+                if delayed:
+                    wakeups.append(delayed[0][0])
+                timeout = (None if not wakeups
+                           else max(0.0, min(wakeups) - time.monotonic()))
+                for conn in mp_connection.wait(list(running),
+                                               timeout=timeout):
+                    attempt_state = running.pop(conn)
+                    seq = self._reap(result, conn, attempt_state,
+                                     ready, delayed, seq)
+                now = time.monotonic()
+                for conn, attempt_state in list(running.items()):
+                    if (attempt_state.deadline is not None
+                            and now >= attempt_state.deadline):
+                        running.pop(conn)
+                        _kill_process(attempt_state.proc)
+                        conn.close()
+                        seq = self._requeue(
+                            result, attempt_state.job, attempt_state.attempt,
+                            f"timeout (> {policy.unit_timeout_s:g}s)",
+                            "unit_timeouts", ready, delayed, seq)
+        except BaseException:
+            # Deterministic teardown on any error — KeyboardInterrupt
+            # included: kill every in-flight worker *now*, not at
+            # context-manager exit, so no sibling unit keeps burning
+            # CPU behind a dead campaign. Journal entries for finished
+            # units were fsynced as they completed, so the run stays
+            # resumable.
+            for conn, attempt_state in running.items():
+                _kill_process(attempt_state.proc)
+                conn.close()
+            running.clear()
+            raise
+
+    def _reap(self, result: SupervisorResult, conn, attempt_state: _Attempt,
+              ready, delayed, seq: int) -> int:
+        """Handle one readable worker pipe: a payload, error, or EOF."""
+        proc, job, attempt = (attempt_state.proc, attempt_state.job,
+                              attempt_state.attempt)
+        try:
+            kind, value = conn.recv()
+        except (EOFError, OSError):
+            # The pipe closed with nothing on it: the worker died.
+            conn.close()
+            proc.join(_JOIN_GRACE_S)
+            return self._requeue(
+                result, job, attempt,
+                f"worker crashed (exit {proc.exitcode})", "worker_crashes",
+                ready, delayed, seq)
+        conn.close()
+        proc.join(_JOIN_GRACE_S)
+        if proc.is_alive():
+            _kill_process(proc)
+        if kind == "ok":
+            reason = self._complete(result, job, value, attempt)
+            if reason is None:
+                return seq
+            return self._requeue(result, job, attempt, reason,
+                                 "corrupt_shards", ready, delayed, seq)
+        return self._requeue(result, job, attempt, f"error: {value}",
+                             "unit_errors", ready, delayed, seq)
+
+    def _requeue(self, result: SupervisorResult, job: UnitJob, attempt: int,
+                 reason: str, counter: str, ready, delayed,
+                 seq: int) -> int:
+        backoff = self._record_failure(result, job, attempt, reason, counter)
+        if backoff is None:
+            return seq
+        if backoff <= 0:
+            ready.append((job, attempt + 1))
+            return seq
+        seq += 1
+        heapq.heappush(delayed,
+                       (time.monotonic() + backoff, seq, job, attempt + 1))
+        return seq
+
+
+# ---------------------------------------------------------------------------
+# durable unit journal
+# ---------------------------------------------------------------------------
+
+#: Journal file name, next to the spool shards.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class UnitJournal:
+    """Durable append-only record of completed campaign units.
+
+    Line 1 is a header binding the journal to one campaign shape
+    (a spec fingerprint plus the unit count) — resuming with a
+    different spec is a hard error, not silent garbage. Every
+    subsequent line is one completed unit:
+    ``{"type": "unit", "unit": i, "attempts": n, "payload": {...}}``,
+    written with flush + fsync *before* the supervisor moves on, so a
+    SIGKILL at any instant loses at most the unit currently in flight.
+
+    Replay tolerates exactly the damage a kill can cause: a torn final
+    line (no trailing newline, or unparseable JSON) is dropped and the
+    file truncated back to the last intact entry before appending
+    resumes. Duplicate unit entries keep the last occurrence.
+    """
+
+    def __init__(self, path: str | Path, *, fingerprint: str,
+                 n_units: int) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.n_units = n_units
+        self._handle = None
+        self._good_end: Optional[int] = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self, validate: Optional[Callable] = None,
+               ) -> dict[int, dict]:
+        """Adoptable entries by unit index, torn tail noted for truncation.
+
+        ``validate(entry_dict) -> Optional[str]`` may reject an entry
+        (e.g. its shard no longer matches the recorded digest); the
+        returned reason is only informational — rejected units simply
+        re-run.
+        """
+        if not self.path.exists():
+            self._good_end = None
+            return {}
+        entries: dict[int, dict] = {}
+        offset = 0
+        good_end = 0
+        with self.path.open("rb") as handle:
+            for index, raw in enumerate(handle):
+                offset += len(raw)
+                if not raw.endswith(b"\n"):
+                    break  # torn by a kill mid-append: drop it
+                try:
+                    obj = json.loads(raw)
+                except ValueError:
+                    break  # garbage tail — everything after is suspect
+                if index == 0:
+                    self._check_header(obj)
+                    good_end = offset
+                    continue
+                if not isinstance(obj, dict) or obj.get("type") != "unit":
+                    break
+                unit = obj.get("unit")
+                if not isinstance(unit, int) or not 0 <= unit < self.n_units:
+                    raise ConfigError(
+                        f"journal entry for unit {unit!r} is out of range "
+                        f"for a {self.n_units}-unit campaign")
+                good_end = offset
+                entries[unit] = obj
+        if good_end == 0:
+            # Not even an intact header: treat as a fresh journal.
+            self._good_end = None
+            return {}
+        self._good_end = good_end
+        if validate is None:
+            return entries
+        return {unit: obj for unit, obj in entries.items()
+                if validate(obj) is None}
+
+    def _check_header(self, obj) -> None:
+        if (not isinstance(obj, dict) or obj.get("type") != "header"
+                or obj.get("version") != 1):
+            raise ConfigError(
+                f"{self.path} is not a version-1 unit journal")
+        if (obj.get("fingerprint") != self.fingerprint
+                or obj.get("n_units") != self.n_units):
+            raise ConfigError(
+                f"{self.path} belongs to a different campaign "
+                "(spec fingerprint or unit count mismatch); refusing "
+                "to resume")
+
+    # -- append ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Create (with header) or reopen for appending.
+
+        Reopening truncates back to the last intact line recorded by
+        :meth:`replay` — appending after a torn tail would otherwise
+        weld the next entry onto the fragment.
+        """
+        if self.path.exists() and self._good_end is not None:
+            self._handle = self.path.open("r+b")
+            self._handle.truncate(self._good_end)
+            self._handle.seek(self._good_end)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("wb")
+            self._append({"type": "header", "version": 1,
+                          "fingerprint": self.fingerprint,
+                          "n_units": self.n_units})
+
+    def record(self, unit_index: int, attempts: int, payload: dict) -> None:
+        """Durably journal one completed unit (flush + fsync)."""
+        if self._handle is None:
+            raise ConfigError("journal is not open")
+        self._append({"type": "unit", "unit": unit_index,
+                      "attempts": attempts, "payload": payload})
+
+    def _append(self, obj: dict) -> None:
+        line = json.dumps(obj, sort_keys=True) + "\n"
+        self._handle.write(line.encode())
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

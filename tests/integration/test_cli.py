@@ -155,3 +155,40 @@ def test_run_out_dir_duplicate_seeds_rejected_up_front(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "duplicate" in err
     assert not (tmp_path / "exports").exists()   # nothing ran
+
+
+def test_run_resume_requires_spool(capsys):
+    assert main(["run", "table2", "--seeds", "1", "--resume"]) == 2
+    assert "--spool" in capsys.readouterr().err
+
+
+def test_run_rejects_bad_retries(capsys):
+    assert main(["run", "table2", "--retries", "-1"]) == 2
+    assert "--retries" in capsys.readouterr().err
+
+
+def test_run_rejects_bad_unit_timeout(capsys):
+    assert main(["run", "table2", "--unit-timeout", "0"]) == 2
+    assert "--unit-timeout" in capsys.readouterr().err
+
+
+def test_run_spool_reuse_without_resume_points_at_resume(tmp_path, capsys):
+    args = ["run", "fig10a", "--scale", "tiny", "--seeds", "1",
+            "--out-dir", str(tmp_path / "exports"), "--spool"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 2
+    assert "resume" in capsys.readouterr().err
+
+
+def test_run_spool_resume_is_idempotent(tmp_path, capsys):
+    """Resuming a fully completed campaign re-runs nothing, exits 0,
+    and reports the same mean-over-seeds block."""
+    args = ["run", "fig10a", "--scale", "tiny", "--seeds", "1", "2",
+            "--out-dir", str(tmp_path / "exports"), "--spool"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "mean over seeds [1, 2]" in second
+    assert second == first

@@ -1,0 +1,110 @@
+"""Crash-safe resume, end to end: SIGKILL a live campaign, resume it.
+
+The kill is deterministic, not time-based: the fault plan's
+``kill_parent_after=N`` makes the campaign SIGKILL itself immediately
+after fsyncing its N-th journal entry, so the journal state at death
+is exact — no sleeps, no races, same result every run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.config import WorldConfig
+from repro.measure import faults
+from repro.measure.ethics import PacingPolicy
+from repro.measure.parallel import (
+    CampaignSpec,
+    ParallelCampaign,
+    matrix_cells,
+)
+from repro.simnet.geo import Cities
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: One campaign shape, constructed identically here and in the driver
+#: subprocess — the journal fingerprint hashes the spec repr, so both
+#: sides must build the very same spec.
+_SPEC_CODE = """\
+from repro.core.config import WorldConfig
+from repro.measure.ethics import PacingPolicy
+from repro.measure.parallel import CampaignSpec, matrix_cells
+from repro.simnet.geo import Cities
+
+SPEC = CampaignSpec(
+    seeds=(3, 4),
+    base_config=WorldConfig(seed=3, tranco_size=4, cbl_size=4,
+                            transports=("tor", "obfs4")),
+    pt_names=("tor", "obfs4"),
+    cells=matrix_cells([Cities.LONDON, Cities.TORONTO],
+                       [Cities.FRANKFURT]),
+    n_sites=2, repetitions=1,
+    pacing=PacingPolicy(gap_between_accesses_s=0.5, batch_size=0))
+"""
+
+_DRIVER = _SPEC_CODE + """\
+import sys
+
+from repro.measure.parallel import ParallelCampaign
+
+ParallelCampaign(SPEC, workers=1, spool_dir=sys.argv[1]).run()
+print("unreachable: the fault plan should have killed this process")
+"""
+
+
+def _spec() -> CampaignSpec:
+    namespace = {}
+    exec(_SPEC_CODE, namespace)  # the literal shared with the driver
+    return namespace["SPEC"]
+
+
+def test_sigkilled_campaign_resumes_bit_identically(tmp_path):
+    spool = tmp_path / "spool"
+    driver = tmp_path / "driver.py"
+    driver.write_text(_DRIVER)
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    faults.FaultPlan(kill_parent_after=2).to_env(env)
+
+    proc = subprocess.run([sys.executable, str(driver), str(spool)],
+                          env=env, capture_output=True, text=True,
+                          timeout=300)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+    # The journal survived the kill with exactly the two units that
+    # completed before it — fsynced entry by entry.
+    journal = (spool / "journal.jsonl").read_text().splitlines()
+    assert len(journal) == 3                      # header + 2 units
+
+    spec = _spec()
+    resumed = ParallelCampaign(spec, workers=1, spool_dir=spool,
+                               resume=True).run()
+    assert resumed.execution["resumed_units"] == 2
+    assert not resumed.failed
+
+    reference = ParallelCampaign(spec, workers=1).run()
+    assert resumed.load_merged().records == reference.merged.records
+
+
+def test_cli_sigkill_then_resume(tmp_path):
+    """The whole CLI path: a spooled fan-out dies mid-run (env fault
+    hook), then the same command with --resume completes cleanly."""
+    out_dir = tmp_path / "exports"
+    cmd = [sys.executable, "-m", "repro", "run", "fig2a",
+           "--scale", "tiny", "--seeds", "1", "2",
+           "--out-dir", str(out_dir), "--spool"]
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    faults.FaultPlan(kill_parent_after=1).to_env(env)
+    killed = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                            timeout=300)
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+
+    env.pop(faults.FAULT_PLAN_ENV)
+    resumed = subprocess.run(cmd + ["--resume"], env=env,
+                             capture_output=True, text=True, timeout=300)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "-- seed 1 --" in resumed.stdout
+    assert "-- seed 2 --" in resumed.stdout
+    merged = out_dir / "fig2a-spool" / "merged"
+    assert any(merged.glob("shard-*.jsonl"))

@@ -1,0 +1,97 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.measure import faults
+
+
+def test_fault_for_is_keyed_by_unit_and_attempt():
+    plan = faults.FaultPlan(faults=((0, 0, faults.CRASH),
+                                    (2, 1, faults.HANG)))
+    assert plan.fault_for(0, 0) == faults.CRASH
+    assert plan.fault_for(0, 1) is None          # retry is clean
+    assert plan.fault_for(2, 1) == faults.HANG
+    assert plan.fault_for(2, 0) is None
+    assert plan.fault_for(1, 0) is None
+
+
+def test_plan_truthiness():
+    assert not faults.FaultPlan()
+    assert faults.FaultPlan(faults=((0, 0, faults.CRASH),))
+    assert faults.FaultPlan(kill_parent_after=1)
+
+
+@pytest.mark.parametrize("bad", [
+    dict(faults=((0, 0, "explode"),)),
+    dict(faults=((-1, 0, faults.CRASH),)),
+    dict(faults=((0, -1, faults.CRASH),)),
+    dict(faults=((0, 0, faults.CRASH), (0, 0, faults.HANG))),
+    dict(kill_parent_after=0),
+])
+def test_plan_validation(bad):
+    with pytest.raises(ConfigError):
+        faults.FaultPlan(**bad)
+
+
+def test_seeded_plan_is_deterministic():
+    a = faults.FaultPlan.seeded(7, 20)
+    b = faults.FaultPlan.seeded(7, 20)
+    c = faults.FaultPlan.seeded(8, 20)
+    assert a == b
+    assert a != c
+    assert all(unit < 20 and attempt == 0 and kind in faults.KINDS
+               for unit, attempt, kind in a.faults)
+
+
+def test_seeded_plan_bounds_faulted_attempts():
+    plan = faults.FaultPlan.seeded(3, 10, rate=1.0,
+                                   kinds=(faults.CRASH,),
+                                   max_faulted_attempts=2)
+    assert len(plan.faults) == 20
+    assert {attempt for _, attempt, _ in plan.faults} == {0, 1}
+
+
+def test_seeded_plan_validates_inputs():
+    with pytest.raises(ConfigError):
+        faults.FaultPlan.seeded(1, 4, kinds=("explode",))
+    with pytest.raises(ConfigError):
+        faults.FaultPlan.seeded(1, 4, rate=1.5)
+
+
+def test_json_round_trip():
+    plan = faults.FaultPlan(faults=((1, 0, faults.PARTIAL_WRITE),
+                                    (3, 2, faults.CORRUPT_SHARD)),
+                            kill_parent_after=2)
+    assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ConfigError):
+        faults.FaultPlan.from_json("not json")
+    with pytest.raises(ConfigError):
+        faults.FaultPlan.from_json('{"faults": [[0]]}')
+
+
+def test_env_round_trip(monkeypatch):
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    assert faults.FaultPlan.from_env() is None
+    plan = faults.FaultPlan(faults=((0, 0, faults.CRASH),))
+    env = {}
+    plan.to_env(env)
+    monkeypatch.setenv(faults.FAULT_PLAN_ENV, env[faults.FAULT_PLAN_ENV])
+    assert faults.FaultPlan.from_env() == plan
+
+
+def test_trigger_pre_inline_raises_markers():
+    plan = faults.FaultPlan(faults=((0, 0, faults.CRASH),
+                                    (1, 0, faults.HANG),
+                                    (2, 0, faults.PARTIAL_WRITE)))
+    with pytest.raises(faults.InjectedCrash):
+        faults.trigger_pre(plan, 0, 0, in_child=False)
+    with pytest.raises(faults.InjectedHang):
+        faults.trigger_pre(plan, 1, 0, in_child=False)
+    # Write-phase faults are the spooled runner's job, not trigger_pre's.
+    faults.trigger_pre(plan, 2, 0, in_child=False)
+    faults.trigger_pre(plan, 0, 1, in_child=False)   # clean retry
+    faults.trigger_pre(None, 0, 0, in_child=False)   # no plan at all

@@ -285,3 +285,41 @@ def test_missing_enum_column_still_raises_key_error():
     del rows[0]["status"]
     with pytest.raises(KeyError, match="status"):
         _record_from_row(rows[0])
+
+
+def test_write_shard_is_atomic_and_digested(tmp_path):
+    """write_shard bytes equal write_json_lines bytes, the digest
+    matches the file, and no .tmp survives the rename."""
+    import hashlib
+
+    from repro.measure.io import file_digest, write_json_lines, write_shard
+
+    results = sample_results()
+    plain = tmp_path / "plain.jsonl"
+    atomic = tmp_path / "atomic.jsonl"
+    write_json_lines(results, plain)
+    n_rows, digest = write_shard(results, atomic)
+    assert atomic.read_bytes() == plain.read_bytes()
+    assert n_rows == len(results)
+    assert digest == hashlib.sha256(atomic.read_bytes()).hexdigest()
+    assert digest == file_digest(atomic)
+    assert not (tmp_path / "atomic.jsonl.tmp").exists()
+
+
+def test_write_shard_replaces_torn_previous_content(tmp_path):
+    """A retry's atomic write fully replaces whatever a killed attempt
+    left at the final path."""
+    from repro.measure.io import read_json_lines, write_shard
+
+    path = tmp_path / "shard.jsonl"
+    path.write_bytes(b'{"torn": ')
+    write_shard(sample_results(), path)
+    assert read_json_lines(path).records == sample_results().records
+
+
+def test_row_lines_match_written_file(tmp_path):
+    from repro.measure.io import row_lines, write_json_lines
+
+    path = tmp_path / "x.jsonl"
+    write_json_lines(sample_results(), path)
+    assert "".join(row_lines(sample_results())) == path.read_text()

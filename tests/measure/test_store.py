@@ -310,3 +310,104 @@ def test_spill_after_adopting_gapped_shards_never_overwrites(tmp_path):
     # The pre-existing shard after the gap is untouched.
     assert [r.target for r in store.iter_records()] == \
         ["keep0", "keep2", "new"]
+
+
+# ---------------------------------------------------------------------------
+# corrupt-shard quarantine (PR 6)
+# ---------------------------------------------------------------------------
+
+
+def test_open_quarantines_torn_trailing_shard(tmp_path):
+    """A shard ending in a torn line is renamed aside, reported on
+    store.quarantined, and the store carries on with intact shards."""
+    from repro.measure.io import write_json_lines
+
+    directory = tmp_path / "dmg"
+    directory.mkdir()
+    write_json_lines([rec(target="good")], directory / "shard-00000.jsonl")
+    write_json_lines([rec(target="doomed")], directory / "shard-00001.jsonl")
+    torn = directory / "shard-00001.jsonl"
+    torn.write_bytes(torn.read_bytes()[:-20])      # tear the tail
+    store = ShardedResultStore.open(directory)
+    assert [p.name for p in store.quarantined] == \
+        ["shard-00001.jsonl.corrupt"]
+    assert not torn.exists()
+    assert (directory / "shard-00001.jsonl.corrupt").exists()
+    assert [r.target for r in store.iter_records()] == ["good"]
+    assert store.pts() == ["tor"]                  # reductions still work
+
+
+def test_open_quarantines_unparseable_tail(tmp_path):
+    from repro.measure.io import write_json_lines
+
+    directory = tmp_path / "dmg"
+    directory.mkdir()
+    path = directory / "shard-00000.jsonl"
+    write_json_lines([rec(target="t")], path)
+    with path.open("ab") as handle:
+        handle.write(b'{"not": json}\n')
+    store = ShardedResultStore.open(directory)
+    assert len(store.quarantined) == 1
+    assert len(store.shard_paths) == 0
+
+
+def test_open_accepts_empty_shard(tmp_path):
+    directory = tmp_path / "empty"
+    directory.mkdir()
+    (directory / "shard-00000.jsonl").write_bytes(b"")
+    store = ShardedResultStore.open(directory)
+    assert store.quarantined == ()
+    assert len(store) == 0
+
+
+def test_open_validate_false_skips_quarantine(tmp_path):
+    from repro.measure.io import write_json_lines
+
+    directory = tmp_path / "raw"
+    directory.mkdir()
+    path = directory / "shard-00000.jsonl"
+    write_json_lines([rec(target="t")], path)
+    path.write_bytes(path.read_bytes()[:-5])
+    store = ShardedResultStore.open(directory, validate=False)
+    assert store.quarantined == ()
+    assert path.exists()
+
+
+def test_open_with_shard_counts_and_corruption_is_an_error(tmp_path):
+    """A writer that knows its counts wrote the shards now — damage
+    means its bookkeeping is wrong, which must not degrade silently."""
+    from repro.measure.io import write_json_lines
+
+    directory = tmp_path / "fresh"
+    directory.mkdir()
+    path = directory / "shard-00000.jsonl"
+    write_json_lines([rec(target="t")], path)
+    path.write_bytes(path.read_bytes()[:-5])
+    with pytest.raises(ConfigError, match="corrupt"):
+        ShardedResultStore.open(directory, shard_counts=[1])
+
+
+def test_spill_after_quarantine_never_reuses_the_index(tmp_path):
+    """The quarantined shard's number stays claimed: a later spill must
+    not mint shard-00001 again while shard-00001.jsonl.corrupt exists."""
+    from repro.measure.io import write_json_lines
+
+    directory = tmp_path / "reuse"
+    directory.mkdir()
+    write_json_lines([rec(target="a")], directory / "shard-00000.jsonl")
+    torn = directory / "shard-00001.jsonl"
+    write_json_lines([rec(target="b")], torn)
+    torn.write_bytes(torn.read_bytes()[:-5])
+    store = ShardedResultStore.open(directory, chunk_size=1)
+    store.append(rec(target="c"))
+    assert (directory / "shard-00002.jsonl").exists()
+    assert [r.target for r in store.iter_records()] == ["a", "c"]
+
+
+def test_spill_is_atomic_no_tmp_left_behind(tmp_path):
+    store = store_of(tmp_path, [rec(target=f"t{i}") for i in range(4)],
+                     chunk_size=2)
+    store.flush()
+    names = {p.name for p in (tmp_path / "store-2").iterdir()}
+    assert not any(n.endswith(".tmp") for n in names)
+    assert names == {"shard-00000.jsonl", "shard-00001.jsonl"}
