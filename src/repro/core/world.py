@@ -83,7 +83,27 @@ class WorldTracker:
 
 
 # Active collector for :func:`track_worlds` (None = not tracking).
+# Fork safety: a supervised worker forked while the parent is inside a
+# track_worlds() scope inherits the active collector and would bank its
+# worlds into an orphan copy (pinning the last World in memory); worker
+# entry points call reset_world_tracking() before running the unit
+# (see repro.measure.parallel), pinned by
+# tests/measure/test_parallel.py::test_child_entry_resets_inherited_tracker.
+# replint: allow[MP01] -- context-managed save/restore in-process; forked workers reset via reset_world_tracking()
 _tracked_worlds: Optional[WorldTracker] = None
+
+
+def reset_world_tracking() -> None:
+    """Drop any inherited tracking scope (worker-process entry hook).
+
+    A forked child must not register its worlds with the collector it
+    inherited from the parent: the parent will never read that copy,
+    and banking into it keeps the child's last World alive. Unit
+    payloads carry their perf summaries explicitly instead.
+    """
+    global _tracked_worlds
+    # replint: allow[MP01] -- this *is* the fork-hygiene reset hook
+    _tracked_worlds = None
 
 
 @contextlib.contextmanager

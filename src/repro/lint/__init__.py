@@ -1,0 +1,39 @@
+"""replint — AST-based determinism & crash-safety invariant checker.
+
+Every guarantee this reproduction makes — bit-identical engine parity,
+bit-identical parallel merges, resume-after-SIGKILL, exactly-rounded
+streaming reductions — rests on coding disciplines (seeded RNG only,
+ordered iteration in merge paths, ``fsum``/``ExactSum`` accumulation,
+tmp+fsync+``os.replace`` writes). This package machine-checks those
+disciplines on every change::
+
+    python -m repro.lint src tests benchmarks
+
+Rules (see :mod:`repro.lint.rules` and ``docs/static-analysis.md``):
+DET01 ambient clock/randomness, DET02 unordered set iteration, NUM01
+bare float accumulation, IO01 raw writable ``open``, MP01 fork-unsafe
+module state, SUP01 malformed suppressions. Zone policy comes from
+``[tool.replint]`` in ``pyproject.toml``
+(:mod:`repro.lint.policy`); per-line escapes are
+``# replint: allow[RULE] -- justification``
+(:mod:`repro.lint.suppress`).
+
+The checker is stdlib-only (``ast`` + ``tomllib``) so the CI lint gate
+needs no third-party installs.
+"""
+
+from repro.lint.engine import (
+    Diagnostic,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    run,
+)
+from repro.lint.policy import Policy, RulePolicy, find_pyproject, load_policy
+from repro.lint.rules import KNOWN_RULE_IDS, RULES, Rule
+
+__all__ = [
+    "Diagnostic", "KNOWN_RULE_IDS", "Policy", "RULES", "Rule",
+    "RulePolicy", "find_pyproject", "iter_python_files", "lint_paths",
+    "lint_source", "load_policy", "run",
+]

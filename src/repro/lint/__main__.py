@@ -1,0 +1,8 @@
+"""``python -m repro.lint [paths...]`` — the local/CI lint gate."""
+
+import sys
+
+from repro.lint.engine import run
+
+if __name__ == "__main__":
+    sys.exit(run())

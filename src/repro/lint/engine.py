@@ -1,0 +1,156 @@
+"""File walking, rule dispatch, suppression filtering, reporting."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.policy import Policy
+from repro.lint.rules import (
+    KNOWN_RULE_IDS,
+    RULES,
+    SUP01,
+    ModuleContext,
+    Rule,
+)
+from repro.lint.suppress import parse_suppressions
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
+                        ".mypy_cache", ".pytest_cache", "node_modules"})
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One reported violation, ``file:line:col: RULE message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given paths, sorted, deduplicated."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            seen.setdefault(path.resolve(), None)
+        elif path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.isdisjoint(found.parts):
+                    continue
+                seen.setdefault(found.resolve(), None)
+    yield from sorted(seen)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_source(source: str, path: Path, policy: Policy, *,
+                rules: Iterable[Rule] = RULES) -> list[Diagnostic]:
+    """Lint one module's source text against the policy."""
+    display = _display_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Diagnostic(display, exc.lineno or 1, exc.offset or 0,
+                           "SYNTAX", f"cannot parse: {exc.msg}")]
+    lines = source.splitlines()
+    allowed, sup_errors = parse_suppressions(source, KNOWN_RULE_IDS)
+    module = policy.module_name(path)
+    ctx = ModuleContext(module=module, tree=tree, lines=tuple(lines))
+
+    diagnostics = [Diagnostic(display, err.line, 0, SUP01, err.message)
+                   for err in sup_errors]
+    for rule in rules:
+        rule_policy = policy.rule_policy(rule.rule_id,
+                                         rule.default_policy)
+        if not rule_policy.applies_to(module):
+            continue
+        for finding in rule.check(ctx):
+            span = range(finding.line,
+                         max(finding.line, finding.end_line) + 1)
+            if any(rule.rule_id in allowed.get(line, ())
+                   for line in span):
+                continue
+            diagnostics.append(Diagnostic(
+                display, finding.line, finding.col, rule.rule_id,
+                finding.message))
+    return sorted(diagnostics)
+
+
+def lint_paths(paths: Sequence[str | Path], policy: Policy, *,
+               rules: Iterable[Rule] = RULES) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``; diagnostics, sorted."""
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        source = path.read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(source, path, policy,
+                                       rules=rules))
+    return sorted(diagnostics)
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    0 — clean; 1 — unsuppressed diagnostics; 2 — usage/config error.
+    """
+    import argparse
+
+    from repro.lint.policy import load_policy
+    from repro.lint.rules import SUP01_SUMMARY
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="replint: AST-based determinism & crash-safety "
+                    "invariant checker")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to check (default: "
+                             "the [tool.replint] paths, else 'src')")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="pyproject.toml to read zone policy from "
+                             "(default: nearest above the first path)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            zones = ", ".join(rule.default_policy.zones)
+            print(f"{rule.rule_id}  {rule.summary}  [zones: {zones}]")
+        print(f"{SUP01}  {SUP01_SUMMARY}  [zones: everywhere]")
+        return 0
+
+    start = Path(args.paths[0]) if args.paths else Path.cwd()
+    try:
+        policy = load_policy(args.config, start=start)
+    except (OSError, ValueError) as exc:
+        print(f"replint: cannot load policy: {exc}")
+        return 2
+    paths = [Path(p) for p in args.paths] or \
+        [Path(p) for p in policy.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print("replint: no such path: "
+              + ", ".join(str(p) for p in missing))
+        return 2
+
+    diagnostics = lint_paths(paths, policy)
+    for diagnostic in diagnostics:
+        print(diagnostic.format())
+    if diagnostics:
+        print(f"replint: {len(diagnostics)} diagnostic"
+              f"{'s' if len(diagnostics) != 1 else ''}")
+        return 1
+    return 0

@@ -1,0 +1,120 @@
+"""Inline suppression comments: ``# replint: allow[RULE] -- why``.
+
+A finding the checker cannot see around (an integer ``sum``, a
+deliberately torn write in the fault injector) is silenced *at the
+line*, never globally, and never without a written justification —
+the justification is part of the syntax, and a suppression missing
+one is itself a diagnostic (``SUP01``). Several rules may share one
+comment: ``allow[DET02, NUM01]``.
+
+Placement: on the offending line, or on its own comment-only line
+immediately above a statement (the comment then covers the following
+line). Diagnostics anchored anywhere inside a multi-line statement
+are matched against every line the statement spans, so the comment
+may sit next to the closing parenthesis of a wrapped call.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+_ALLOW_RE = re.compile(
+    r"#\s*replint:\s*(?P<verb>[a-zA-Z_-]+)"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int                 # line the suppression *covers*
+    rules: tuple[str, ...]
+    justification: str
+
+
+@dataclass(frozen=True)
+class SuppressionError:
+    """A malformed suppression comment (reported as SUP01)."""
+
+    line: int
+    message: str
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str, bool]]:
+    """``(line, comment_text, comment_only_line)`` for real comments.
+
+    Tokenizing (rather than scanning raw lines) keeps ``# replint:``
+    examples inside strings and docstrings from being parsed as live
+    suppressions.
+    """
+    comments: list[tuple[int, str, bool]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            line, col = token.start
+            alone = not token.line[:col].strip()
+            comments.append((line, token.string, alone))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable source is reported by the engine as SYNTAX
+    return comments
+
+
+def parse_suppressions(
+        source: str, known_rules: frozenset[str],
+) -> tuple[dict[int, frozenset[str]], list[SuppressionError]]:
+    """Scan a module's comments for suppression directives.
+
+    Returns ``(allowed, errors)`` where ``allowed`` maps a 1-based
+    line number to the rule ids silenced on that line.
+    """
+    allowed: dict[int, set[str]] = {}
+    errors: list[SuppressionError] = []
+    for index, comment, alone in _comment_tokens(source):
+        if "replint" not in comment:
+            continue
+        match = _ALLOW_RE.search(comment)
+        if match is None:
+            if re.search(r"#\s*replint\s*:", comment):
+                errors.append(SuppressionError(
+                    index, "unparseable replint comment (expected "
+                    "'# replint: allow[RULE] -- justification')"))
+            continue
+        if match.group("verb") != "allow":
+            errors.append(SuppressionError(
+                index, f"unknown replint directive "
+                f"{match.group('verb')!r} (only 'allow' is supported)"))
+            continue
+        rules_field = match.group("rules")
+        if rules_field is None:
+            errors.append(SuppressionError(
+                index, "allow needs a rule list: allow[RULE, ...]"))
+            continue
+        rule_ids = tuple(r.strip() for r in rules_field.split(",")
+                         if r.strip())
+        if not rule_ids:
+            errors.append(SuppressionError(
+                index, "allow[] names no rules"))
+            continue
+        unknown = [r for r in rule_ids if r not in known_rules]
+        if unknown:
+            errors.append(SuppressionError(
+                index, f"allow names unknown rule(s): "
+                f"{', '.join(sorted(unknown))}"))
+            continue
+        justification = match.group("why") or ""
+        if not justification:
+            errors.append(SuppressionError(
+                index, "suppression without a justification — append "
+                "'-- <why this is safe>'"))
+            continue
+        # A comment-only line covers the next line; otherwise its own.
+        target = index + 1 if alone else index
+        allowed.setdefault(target, set()).update(rule_ids)
+    return ({line: frozenset(rules) for line, rules in allowed.items()},
+            errors)

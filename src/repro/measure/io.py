@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, Optional, TextIO, Union
 
 from repro.measure.records import (
     MeasurementRecord,
@@ -260,6 +260,46 @@ def write_shard(results: Records, path: str | Path) -> tuple[int, str]:
         os.fsync(handle.fileno())
     os.replace(tmp, path)
     return n_rows, digest.hexdigest()
+
+
+class AtomicShardWriter:
+    """Incremental atomic text writer for shard-sized outputs.
+
+    Lines stream into ``<name>.tmp``; :meth:`commit` flushes, fsyncs
+    and :func:`os.replace`'s the bytes into place, giving the same
+    crash contract as :func:`write_shard` (complete shard or no shard,
+    never a truncated one) without requiring the caller to hold all
+    lines in memory or re-serialise records. :meth:`abort` discards an
+    unfinished writer, leaving only a stale ``.tmp`` the next attempt
+    overwrites. Used by the parallel campaign merge, which rolls over
+    many chunk-sized shards while streaming unit files.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self._handle: Optional[TextIO] = self._tmp.open("w")
+
+    def write(self, line: str) -> None:
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path} is closed")
+        self._handle.write(line)
+
+    def commit(self) -> None:
+        """Durably publish the shard at its final path."""
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path} is closed")
+        handle, self._handle = self._handle, None
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        """Drop an unfinished shard (nothing appears at the final path)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 def file_digest(path: str | Path) -> str:

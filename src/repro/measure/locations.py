@@ -10,6 +10,7 @@ concentrate in Europe/North America).
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -84,7 +85,9 @@ def mean_by_client(cells: list[LocationCell], pt: str) -> dict[str, float]:
         subset = cell.results.filter(pt=pt)
         if subset:
             sums.setdefault(cell.client.name, []).extend(subset.durations())
-    return {city: sum(v) / len(v) for city, v in sums.items()}
+    # fmean is fsum-based: the per-city mean is exactly rounded and
+    # independent of the order cells contributed their durations.
+    return {city: statistics.fmean(v) for city, v in sums.items()}
 
 
 def ordering_by_cell(cells: list[LocationCell]) -> dict[tuple[str, str], list[str]]:

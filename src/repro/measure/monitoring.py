@@ -139,7 +139,9 @@ class LongTermMonitor:
         baseline.
         """
         anomalies: list[Anomaly] = []
-        for pt in {s.pt for s in self.samples}:
+        # sorted(): iterating the bare set would emit anomalies in PT
+        # hash order, which varies with PYTHONHASHSEED across runs.
+        for pt in sorted({s.pt for s in self.samples}):
             history = sorted(self.history(pt), key=lambda s: s.week)
             baseline: list[float] = []
             for sample in history:

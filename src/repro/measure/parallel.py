@@ -63,6 +63,7 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.core.config import Scale, WorldConfig
+from repro.core import world as world_mod
 from repro.core.world import World
 from repro.errors import ConfigError, UnitsExhaustedError
 from repro.measure import faults as faults_mod
@@ -209,6 +210,8 @@ def _run_unit(unit: WorkUnit, attempt: int = 0,
     (``attempt``/``in_child`` complete the supervisor's runner
     contract; wire-mode units have no write phase to fault.)
     """
+    if in_child:
+        world_mod.reset_world_tracking()
     results, perf, experiment = _execute_unit(unit)
     return {"seed": unit.seed, "cell_index": unit.cell_index,
             "rows": results.to_rows(), "perf": perf,
@@ -226,6 +229,7 @@ def _fault_partial_write(results: ResultSet, path: Path,
     ever journaled for this attempt).
     """
     data = "".join(measure_io.row_lines(results)).encode()
+    # replint: allow[IO01] -- fault injector: the torn non-atomic write IS the fault under test
     with open(path, "wb") as handle:
         handle.write(data[:max(1, len(data) // 2)])
         handle.flush()
@@ -250,6 +254,8 @@ def _run_unit_spooled(args: tuple, attempt: int = 0,
     path would corrupt the shard.
     """
     unit, index, spool_dir, fault_plan = args
+    if in_child:
+        world_mod.reset_world_tracking()
     results, perf, experiment = _execute_unit(unit)
     path = Path(spool_dir) / (
         f"unit-{index:06d}-s{unit.seed}-c{unit.cell_index + 1}.jsonl")
@@ -262,6 +268,7 @@ def _run_unit_spooled(args: tuple, attempt: int = 0,
         # Silent corruption *after* the digest was taken: the payload
         # claims a digest the on-disk bytes no longer match, which the
         # parent's verify hook must catch and retry.
+        # replint: allow[IO01] -- fault injector: post-digest corruption of the shard IS the fault under test
         with path.open("a") as handle:
             handle.write('{"injected-corruption": tr\n')
     return {"seed": unit.seed, "cell_index": unit.cell_index,
@@ -601,41 +608,36 @@ class ParallelCampaign:
         (both are ``row_lines`` output), so the merge copies raw lines
         into chunk-rolled shards — no JSON decode / record
         construction / re-encode per record. Each merged shard lands
-        atomically (tmp + rename), so a kill mid-merge leaves no
-        truncated shard for a later ``open()`` to trip over.
+        atomically (tmp + fsync + rename, via
+        :class:`repro.measure.io.AtomicShardWriter`), so a kill — or a
+        power loss — mid-merge leaves no truncated shard for a later
+        ``open()`` to trip over.
 
         Returns the per-shard line counts, in shard order.
         """
         counts: list[int] = []
-        handle = None
-        tmp = final = None
-
-        def _finish() -> None:
-            handle.close()
-            os.replace(tmp, final)
-
+        writer = None
         try:
             for payload in payloads:
                 with open(payload["shard"]) as unit:
                     for line in unit:
                         if not line.strip():
                             continue
-                        if handle is None or counts[-1] == self.chunk_size:
-                            if handle is not None:
-                                _finish()
-                            final = (merged_dir /
-                                     f"shard-{len(counts):05d}.jsonl")
-                            tmp = final.with_name(final.name + ".tmp")
-                            handle = open(tmp, "w")
+                        if writer is None or counts[-1] == self.chunk_size:
+                            if writer is not None:
+                                writer.commit()
+                            writer = measure_io.AtomicShardWriter(
+                                merged_dir /
+                                f"shard-{len(counts):05d}.jsonl")
                             counts.append(0)
-                        handle.write(line)
+                        writer.write(line)
                         counts[-1] += 1
-            if handle is not None:
-                _finish()
-                handle = None
+            if writer is not None:
+                writer.commit()
+                writer = None
         finally:
-            if handle is not None:
-                handle.close()
+            if writer is not None:
+                writer.abort()
         return counts
 
 

@@ -518,11 +518,13 @@ class UnitJournal:
         weld the next entry onto the fragment.
         """
         if self.path.exists() and self._good_end is not None:
+            # replint: allow[IO01] -- append-only journal, fsynced per entry; truncating to the last intact line is the crash protocol
             self._handle = self.path.open("r+b")
             self._handle.truncate(self._good_end)
             self._handle.seek(self._good_end)
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # replint: allow[IO01] -- the journal IS the durable writer: every entry is flushed+fsynced, torn tails are truncated on replay
             self._handle = self.path.open("wb")
             self._append({"type": "header", "version": 1,
                           "fingerprint": self.fingerprint,

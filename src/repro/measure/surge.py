@@ -11,6 +11,7 @@ bandwidth, and proxy lifetime.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 
 #: Users at which the snowflake infrastructure is saturated.
@@ -67,11 +68,11 @@ def pre_september_level() -> float:
     """Mean surge level across the calm months."""
     points = [p for p in SNOWFLAKE_USER_TIMELINE
               if p.month in PRE_SEPTEMBER_MONTHS]
-    return sum(p.surge_level for p in points) / len(points)
+    return statistics.fmean(p.surge_level for p in points)
 
 
 def post_september_level() -> float:
     """Mean surge level across the overloaded months."""
     points = [p for p in SNOWFLAKE_USER_TIMELINE
               if p.month in POST_SEPTEMBER_MONTHS]
-    return sum(p.surge_level for p in points) / len(points)
+    return statistics.fmean(p.surge_level for p in points)

@@ -100,6 +100,11 @@ def compute_fair_rates(flows: Iterable[Flow], *,
 # ---------------------------------------------------------------------------
 
 
+def _by_fid(flow: Flow) -> int:
+    """Deterministic sort key: the flow's creation serial."""
+    return flow.fid
+
+
 def compute_fair_rates_reference(flows: Iterable[Flow], *,
                                  counters: Optional[PerfCounters] = None,
                                  ) -> Mapping[Flow, float]:
@@ -131,7 +136,12 @@ def compute_fair_rates_reference(flows: Iterable[Flow], *,
             live = flowset & unfrozen
             if not live:
                 continue
-            denom = sum(f.weight for f in live) + res.background_load
+            # Sum in fid order: a float sum over a bare set would pick
+            # up the flows in hash order, and float addition is not
+            # associative — the oracle must not vary with PYTHONHASHSEED.
+            denom = sum(f.weight
+                        for f in sorted(live, key=_by_fid)) \
+                + res.background_load
             share = residual[res] / denom
             if share < best_share:
                 best_share = share
@@ -143,7 +153,9 @@ def compute_fair_rates_reference(flows: Iterable[Flow], *,
         # Freeze every unfrozen flow crossing the bottleneck at its
         # weighted share, and charge that rate to all its resources.
         frozen_now = pending[bottleneck] & unfrozen
-        for flow in frozen_now:
+        # fid order again: the residual decrements clamp at 0.0, so the
+        # order flows are charged can change later shares.
+        for flow in sorted(frozen_now, key=_by_fid):
             rate = best_share * flow.weight
             rates[flow] = rate
             for res in flow.path:
@@ -648,6 +660,7 @@ class FairShareAllocator:
                 candidates = live_rids
             heap: list[tuple[float, int]] = []
             latest: dict[int, float] = {}
+            # replint: allow[DET02] -- heap pop order is fixed by the unique (share, rid) keys; build order is immaterial
             for rid in candidates:
                 if live_count[rid] == 0:
                     continue

@@ -1,0 +1,90 @@
+"""Zone policy: module naming, prefix matching, pyproject loading."""
+
+from pathlib import Path
+
+from repro.lint.policy import (
+    Policy,
+    RulePolicy,
+    find_pyproject,
+    load_policy,
+)
+
+
+def test_zone_match_is_prefix_at_dot_boundaries():
+    policy = RulePolicy(zones=("repro.simnet",))
+    assert policy.applies_to("repro.simnet")
+    assert policy.applies_to("repro.simnet.fairshare")
+    assert not policy.applies_to("repro.simnetwork")
+    assert not policy.applies_to("repro.measure")
+
+
+def test_exempt_prefix_wins_inside_a_zone():
+    policy = RulePolicy(zones=("repro.simnet",),
+                        exempt=("repro.simnet.perfcounters",))
+    assert policy.applies_to("repro.simnet.kernel")
+    assert not policy.applies_to("repro.simnet.perfcounters")
+
+
+def test_module_name_uses_src_marker_anywhere(tmp_path):
+    policy = Policy()
+    path = tmp_path / "deep" / "src" / "repro" / "simnet" / "flow.py"
+    assert policy.module_name(path) == "repro.simnet.flow"
+
+
+def test_module_name_package_init_drops_suffix(tmp_path):
+    policy = Policy()
+    path = tmp_path / "src" / "repro" / "lint" / "__init__.py"
+    assert policy.module_name(path) == "repro.lint"
+
+
+def test_module_name_falls_back_to_config_root(tmp_path):
+    policy = Policy(root=tmp_path)
+    path = tmp_path / "tests" / "measure" / "test_io.py"
+    assert policy.module_name(path) == "tests.measure.test_io"
+
+
+def test_load_policy_reads_rule_tables_and_paths(tmp_path):
+    config = tmp_path / "pyproject.toml"
+    config.write_text(
+        '[tool.replint]\n'
+        'paths = ["src", "tests"]\n'
+        '[tool.replint.rules.DET01]\n'
+        'zones = ["repro.simnet"]\n'
+        'exempt = ["repro.simnet.perfcounters"]\n')
+    policy = load_policy(config)
+    assert policy.paths == ("src", "tests")
+    det01 = policy.rule_policy("DET01", RulePolicy(zones=("x",)))
+    assert det01.zones == ("repro.simnet",)
+    assert det01.exempt == ("repro.simnet.perfcounters",)
+    # Rules without a table fall back to the supplied default.
+    fallback = RulePolicy(zones=("repro.measure",))
+    assert policy.rule_policy("IO01", fallback) is fallback
+
+
+def test_load_policy_without_file_gives_defaults(tmp_path):
+    policy = load_policy(None, start=tmp_path)
+    assert policy.rules == {}
+    assert policy.paths == ("src",)
+
+
+def test_find_pyproject_walks_up(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[tool.replint]\n")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+    assert find_pyproject(Path("/nonexistent-xyzzy")) is None
+
+
+def test_repo_pyproject_mirrors_builtin_zone_defaults():
+    """The checked-in [tool.replint] tables must match the rule
+    defaults — the config exists for visibility, not divergence."""
+    from repro.lint.rules import RULES
+
+    root = Path(__file__).resolve().parents[2]
+    policy = load_policy(root / "pyproject.toml")
+    for rule in RULES:
+        configured = policy.rule_policy(rule.rule_id, rule.default_policy)
+        assert set(configured.zones) == set(rule.default_policy.zones), \
+            rule.rule_id
+        assert set(configured.exempt) == set(rule.default_policy.exempt), \
+            rule.rule_id

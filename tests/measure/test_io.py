@@ -323,3 +323,30 @@ def test_row_lines_match_written_file(tmp_path):
     path = tmp_path / "x.jsonl"
     write_json_lines(sample_results(), path)
     assert "".join(row_lines(sample_results())) == path.read_text()
+
+
+def test_atomic_shard_writer_publishes_only_on_commit(tmp_path):
+    """Regression (replint IO01): the merge copier published shards
+    with a bare open/close/rename and no fsync; AtomicShardWriter is
+    the shared tmp+fsync+os.replace path it now uses."""
+    from repro.measure.io import AtomicShardWriter
+
+    target = tmp_path / "shard.jsonl"
+    writer = AtomicShardWriter(target)
+    writer.write('{"a": 1}\n')
+    writer.write('{"b": 2}\n')
+    assert not target.exists()  # nothing at the final path pre-commit
+    writer.commit()
+    assert target.read_text() == '{"a": 1}\n{"b": 2}\n'
+    assert not target.with_name("shard.jsonl.tmp").exists()
+
+
+def test_atomic_shard_writer_abort_leaves_no_artifact(tmp_path):
+    from repro.measure.io import AtomicShardWriter
+
+    target = tmp_path / "shard.jsonl"
+    writer = AtomicShardWriter(target)
+    writer.write("partial line with no newline")
+    writer.abort()
+    assert not target.exists()
+    writer.abort()  # idempotent

@@ -149,6 +149,25 @@ def test_detect_anomalies_flags_total_outage_weeks():
     assert not [a for a in anomalies if a.week == 5]
 
 
+def test_anomalies_report_in_sorted_pt_order():
+    """Regression (replint DET02): detect_anomalies used to iterate a
+    bare PT set, so the report order varied with PYTHONHASHSEED run to
+    run; PTs now come out sorted."""
+    import math
+
+    from repro.measure.monitoring import ProbeSample
+
+    pts = ("webtunnel", "snowflake", "meek", "obfs4")
+    monitor = LongTermMonitor(world=None, pts=pts)
+    monitor.samples = [
+        ProbeSample(week=0, pt=pt, mean_s=math.nan, p90_s=math.nan,
+                    failure_fraction=1.0, n=0)
+        for pt in pts
+    ]
+    anomalies = monitor.detect_anomalies()
+    assert [a.pt for a in anomalies] == sorted(pts)
+
+
 def test_outage_in_first_week_is_still_flagged():
     """No baseline yet: a total outage is anomalous on its face."""
     import math

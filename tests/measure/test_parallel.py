@@ -237,3 +237,23 @@ def test_spool_merged_store_len_is_free(tmp_path):
     assert spooled.store._shard_counts is not None   # seeded by the roll
     assert len(spooled.store) == len(
         ParallelCampaign(spec, workers=1).run().merged)
+
+
+def test_child_entry_resets_inherited_tracker():
+    """Regression (replint MP01): a worker forked while the parent sat
+    inside a track_worlds() scope inherits the active collector; the
+    child entry must drop it so child worlds are never banked into an
+    orphan copy (which also pinned the last World in child memory).
+    ``in_child=False`` (the in-process path) must keep banking."""
+    from repro.core import world as world_mod
+    from repro.measure.parallel import _run_unit
+
+    unit = ParallelCampaign(_matrix_spec()).work_units()[0]
+    with world_mod.track_worlds() as tracker:
+        payload = _run_unit(unit, in_child=True)
+    assert payload["rows"]
+    assert tracker.summary()["worlds"] == 0.0
+
+    with world_mod.track_worlds() as tracker:
+        _run_unit(unit, in_child=False)
+    assert tracker.summary()["worlds"] == 1.0

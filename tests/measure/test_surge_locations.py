@@ -59,6 +59,39 @@ def test_mean_by_client_covers_three_cities():
     assert all(v > 0 for v in means.values())
 
 
+def test_surge_levels_are_exactly_rounded_means():
+    """Regression (replint NUM01): the pre/post levels were computed
+    with ``sum()/len()``, which loses bits order-dependently; they now
+    equal the exactly-rounded fsum-based mean of the timeline, so the
+    snowflake surge fed into WorldConfig is bit-stable."""
+    import statistics
+
+    pre = [p.surge_level for p in SNOWFLAKE_USER_TIMELINE
+           if p.month in PRE_SEPTEMBER_MONTHS]
+    post = [p.surge_level for p in SNOWFLAKE_USER_TIMELINE
+            if p.month in POST_SEPTEMBER_MONTHS]
+    assert pre_september_level() == statistics.fmean(pre)
+    assert post_september_level() == statistics.fmean(post)
+    # fmean is order-free: any permutation gives the identical bits.
+    assert pre_september_level() == statistics.fmean(pre[::-1])
+    assert post_september_level() == statistics.fmean(post[::-1])
+
+
+def test_mean_by_client_is_exactly_rounded():
+    """Regression (replint NUM01): per-city means match fmean over the
+    same durations, bit for bit."""
+    import statistics
+
+    config = WorldConfig(seed=5, tranco_size=4, cbl_size=4)
+    cells = location_matrix(config, ["tor"], n_sites=2, repetitions=1,
+                            clients=[Cities.LONDON],
+                            servers=[Cities.FRANKFURT])
+    means = mean_by_client(cells, "tor")
+    durations = [d for cell in cells
+                 for d in cell.results.filter(pt="tor").durations()]
+    assert means == {"London": statistics.fmean(durations)}
+
+
 def test_ordering_by_cell_has_all_pts():
     config = WorldConfig(seed=7, tranco_size=4, cbl_size=4)
     cells = location_matrix(config, ["tor", "obfs4"], n_sites=2, repetitions=1,

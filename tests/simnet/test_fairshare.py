@@ -92,3 +92,24 @@ def test_effective_bottleneck_helper():
     a = Resource("a", 1000.0, background_load=1.0)  # lone flow sees 500
     b = Resource("b", 800.0)  # lone flow sees 800
     assert effective_bottleneck_bps([a, b]) == pytest.approx(500.0)
+
+
+def test_reference_engine_is_input_order_invariant():
+    """Regression (replint DET02): the oracle summed weights and
+    charged residuals over bare sets, so its float arithmetic order —
+    and, in torn-tie cases, its output — depended on hash order. Flows
+    are now visited in fid order: any input permutation produces the
+    bit-identical rate vector."""
+    from repro.simnet.fairshare import compute_fair_rates_reference
+
+    r1 = Resource("r1", 1000.0)
+    r2 = Resource("r2", 700.0, background_load=0.5)
+    flows = [make_flow([r1], weight=0.1),
+             make_flow([r1, r2], weight=0.3),
+             make_flow([r2], weight=0.7),
+             make_flow([r1, r2], weight=1.1)]
+    baseline = compute_fair_rates_reference(flows)
+    assert set(baseline) == set(flows)
+    for perm in (flows[::-1], flows[1:] + flows[:1], flows[2:] + flows[:2]):
+        rates = compute_fair_rates_reference(perm)
+        assert all(rates[f] == baseline[f] for f in flows)  # bit-exact
