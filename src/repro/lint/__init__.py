@@ -9,31 +9,45 @@ disciplines on every change::
 
     python -m repro.lint src tests benchmarks
 
-Rules (see :mod:`repro.lint.rules` and ``docs/static-analysis.md``):
-DET01 ambient clock/randomness, DET02 unordered set iteration, NUM01
-bare float accumulation, IO01 raw writable ``open``, MP01 fork-unsafe
-module state, SUP01 malformed suppressions. Zone policy comes from
-``[tool.replint]`` in ``pyproject.toml``
+Per-file rules (see :mod:`repro.lint.rules` and
+``docs/static-analysis.md``): DET01 ambient clock/randomness, DET02
+unordered set iteration, NUM01 bare float accumulation, IO01 raw
+writable ``open``, MP01 fork-unsafe module state, EXC01 swallowed
+``KeyboardInterrupt`` in supervisor zones, SUP01 malformed
+suppressions. Whole-program rules, built on the project call graph
+(:mod:`repro.lint.callgraph`): DET03 transitive ambient-source reach,
+DET04 unordered iteration escaping through return values
+(:mod:`repro.lint.taint`), ATOM01 rename without a dominating fsync,
+RES01 leaked writable handles (:mod:`repro.lint.protocol`). Zone
+policy comes from ``[tool.replint]`` in ``pyproject.toml``
 (:mod:`repro.lint.policy`); per-line escapes are
 ``# replint: allow[RULE] -- justification``
-(:mod:`repro.lint.suppress`).
+(:mod:`repro.lint.suppress`); repeat runs are incremental through
+``.replint-cache.json`` (:mod:`repro.lint.cache`).
 
 The checker is stdlib-only (``ast`` + ``tomllib``) so the CI lint gate
 needs no third-party installs.
 """
 
+from repro.lint.callgraph import CallGraph, CallGraphStats
 from repro.lint.engine import (
     Diagnostic,
+    LintResult,
+    LintStats,
     iter_python_files,
     lint_paths,
     lint_source,
     run,
+    run_lint,
 )
 from repro.lint.policy import Policy, RulePolicy, find_pyproject, load_policy
-from repro.lint.rules import KNOWN_RULE_IDS, RULES, Rule
+from repro.lint.registry import FILE_RULES, KNOWN_RULE_IDS, PROJECT_RULES
+from repro.lint.rules import RULES, ProjectRule, Rule
 
 __all__ = [
-    "Diagnostic", "KNOWN_RULE_IDS", "Policy", "RULES", "Rule",
-    "RulePolicy", "find_pyproject", "iter_python_files", "lint_paths",
-    "lint_source", "load_policy", "run",
+    "CallGraph", "CallGraphStats", "Diagnostic", "FILE_RULES",
+    "KNOWN_RULE_IDS", "LintResult", "LintStats", "PROJECT_RULES",
+    "Policy", "ProjectRule", "RULES", "Rule", "RulePolicy",
+    "find_pyproject", "iter_python_files", "lint_paths", "lint_source",
+    "load_policy", "run", "run_lint",
 ]

@@ -1,0 +1,147 @@
+"""Incremental lint cache (``.replint-cache.json``).
+
+Per linted file the cache stores the diagnostics of the last clean-run
+analysis keyed by
+
+* the file's **content hash** (sha256 of its source bytes),
+* a **dependency digest** — sha256 over the content hashes of every
+  project module in the file's transitive import closure, taken from
+  the call graph's import edges. Interprocedural findings in a file
+  depend only on the behavior of its transitive callees, and every
+  resolvable callee lives in a transitively imported module, so a
+  change anywhere below invalidates exactly the files whose analysis
+  could change — edit one leaf helper and only its dependents re-run;
+* a run-wide **signature** covering the rule registry and the resolved
+  zone policy, so flipping a zone in ``pyproject.toml`` (or upgrading
+  replint) drops the whole cache rather than serving stale verdicts.
+
+The cache never skips *parsing* — module symbol tables and import
+edges are rebuilt every run (cheap, and required to compute the
+digests) — it skips *rule evaluation*: per-file rules for valid
+entries, and the whole interprocedural pass when every entry is valid.
+Cache writes go through the same tmp → fsync → ``os.replace`` protocol
+the linter enforces on everyone else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+_FORMAT_VERSION = 1
+
+#: Serialized diagnostic: (line, col, rule, message).
+_Row = tuple[int, int, str, str]
+
+
+def content_hash(source_bytes: bytes) -> str:
+    return hashlib.sha256(source_bytes).hexdigest()
+
+
+def deps_digest(closure_hashes: Mapping[str, str]) -> str:
+    """Digest of ``{module: content_hash}`` over an import closure."""
+    feed = "\n".join(f"{module}:{closure_hashes[module]}"
+                     for module in sorted(closure_hashes))
+    return hashlib.sha256(feed.encode("utf-8")).hexdigest()
+
+
+def run_signature(rule_ids_and_zones: Sequence[tuple]) -> str:
+    """Signature of the rule registry + resolved zone policy."""
+    feed = json.dumps([_FORMAT_VERSION, *rule_ids_and_zones],
+                      sort_keys=True)
+    return hashlib.sha256(feed.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    content_hash: str
+    deps_digest: str
+    #: Per-file rule diagnostics, then whole-program diagnostics.
+    local: list[_Row] = field(default_factory=list)
+    project: list[_Row] = field(default_factory=list)
+
+
+class LintCache:
+    """Load/validate/update one cache file; inert when ``path`` is None."""
+
+    def __init__(self, path: Optional[Path], signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self.entries: dict[str, CacheEntry] = {}
+        self.stats_line: str = ""
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.is_file():
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # corrupt/unreadable: start cold
+        if not isinstance(data, dict) or \
+                data.get("signature") != self.signature:
+            return  # different rules/zones/version: start cold
+        self.stats_line = str(data.get("stats", ""))
+        for key, raw in data.get("files", {}).items():
+            try:
+                self.entries[key] = CacheEntry(
+                    content_hash=raw["content_hash"],
+                    deps_digest=raw["deps_digest"],
+                    local=[tuple(row) for row in raw["local"]],
+                    project=[tuple(row) for row in raw["project"]])
+            except (KeyError, TypeError, ValueError):
+                continue  # skip damaged rows, keep the rest
+
+    # -- queries --------------------------------------------------------
+
+    def lookup(self, key: str, file_hash: str,
+               digest: str) -> Optional[CacheEntry]:
+        """The valid entry for a file, counting a hit/miss."""
+        entry = self.entries.get(key)
+        if entry is not None and entry.content_hash == file_hash and \
+                entry.deps_digest == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    # -- updates --------------------------------------------------------
+
+    def store(self, key: str, entry: CacheEntry) -> None:
+        self.entries[key] = entry
+
+    def drop_stale(self, live_keys: Sequence[str]) -> None:
+        keep = set(live_keys)
+        for key in [k for k in self.entries if k not in keep]:
+            del self.entries[key]
+
+    def write(self, stats_line: str = "") -> None:
+        if self.path is None:
+            return
+        payload = {
+            "signature": self.signature,
+            "stats": stats_line or self.stats_line,
+            "files": {
+                key: {
+                    "content_hash": entry.content_hash,
+                    "deps_digest": entry.deps_digest,
+                    "local": [list(row) for row in entry.local],
+                    "project": [list(row) for row in entry.project],
+                }
+                for key, entry in sorted(self.entries.items())
+            },
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            tmp.unlink(missing_ok=True)  # cache is best-effort

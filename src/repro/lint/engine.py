@@ -1,20 +1,39 @@
-"""File walking, rule dispatch, suppression filtering, reporting."""
+"""File walking, rule dispatch, caching, suppression filtering,
+reporting.
+
+One run has two layers. Per-file rules see one parsed module at a
+time. Whole-program rules see the project call graph
+(:mod:`repro.lint.callgraph`) and may attribute a finding to any
+module; the engine maps the module back to its file and applies that
+file's inline suppressions, so ``# replint: allow[...]`` works
+identically for both layers.
+
+With a cache path (:mod:`repro.lint.cache`), files whose content *and*
+transitive import closure are unchanged skip per-file rule evaluation,
+and when every file is unchanged the whole interprocedural pass is
+skipped too — parsing and symbol-table construction always run, since
+the dependency digests come from them.
+"""
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.lint.policy import Policy
-from repro.lint.rules import (
-    KNOWN_RULE_IDS,
-    RULES,
-    SUP01,
-    ModuleContext,
-    Rule,
+from repro.lint.cache import (
+    CacheEntry,
+    LintCache,
+    content_hash,
+    deps_digest,
+    run_signature,
 )
+from repro.lint.callgraph import CallGraph
+from repro.lint.policy import Policy
+from repro.lint.registry import FILE_RULES, KNOWN_RULE_IDS, PROJECT_RULES
+from repro.lint.rules import SUP01, Finding, ModuleContext, ProjectRule, Rule
 from repro.lint.suppress import parse_suppressions
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
@@ -34,6 +53,43 @@ class Diagnostic:
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
                f"{self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command annotation."""
+        def esc(text: str, properties: bool = False) -> str:
+            out = (text.replace("%", "%25").replace("\r", "%0D")
+                   .replace("\n", "%0A"))
+            if properties:
+                out = out.replace(":", "%3A").replace(",", "%2C")
+            return out
+        return (f"::error file={esc(self.path, True)},"
+                f"line={self.line},col={self.col},"
+                f"title=replint {esc(self.rule, True)}"
+                f"::{esc(self.message)}")
+
+
+@dataclass(frozen=True)
+class LintStats:
+    """``--stats`` counters for one run."""
+
+    files: int
+    callgraph: str          # CallGraphStats.format() line ("" if unbuilt)
+    cache_hits: int
+    cache_misses: int
+
+    def format(self) -> str:
+        lines = [f"replint: {self.files} files, "
+                 f"{self.cache_hits} cache hits, "
+                 f"{self.cache_misses} misses"]
+        if self.callgraph:
+            lines.append(self.callgraph)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LintResult:
+    diagnostics: tuple[Diagnostic, ...]
+    stats: LintStats
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -58,8 +114,8 @@ def _display_path(path: Path) -> str:
 
 
 def lint_source(source: str, path: Path, policy: Policy, *,
-                rules: Iterable[Rule] = RULES) -> list[Diagnostic]:
-    """Lint one module's source text against the policy."""
+                rules: Iterable[Rule] = FILE_RULES) -> list[Diagnostic]:
+    """Lint one module's source text against the per-file rules."""
     display = _display_path(path)
     try:
         tree = ast.parse(source, filename=str(path))
@@ -79,10 +135,7 @@ def lint_source(source: str, path: Path, policy: Policy, *,
         if not rule_policy.applies_to(module):
             continue
         for finding in rule.check(ctx):
-            span = range(finding.line,
-                         max(finding.line, finding.end_line) + 1)
-            if any(rule.rule_id in allowed.get(line, ())
-                   for line in span):
+            if _suppressed(finding, rule.rule_id, allowed):
                 continue
             diagnostics.append(Diagnostic(
                 display, finding.line, finding.col, rule.rule_id,
@@ -90,15 +143,177 @@ def lint_source(source: str, path: Path, policy: Policy, *,
     return sorted(diagnostics)
 
 
-def lint_paths(paths: Sequence[str | Path], policy: Policy, *,
-               rules: Iterable[Rule] = RULES) -> list[Diagnostic]:
-    """Lint every Python file under ``paths``; diagnostics, sorted."""
-    diagnostics: list[Diagnostic] = []
+def _suppressed(finding: Finding, rule_id: str,
+                allowed: dict[int, frozenset[str]]) -> bool:
+    span = range(finding.line, max(finding.line, finding.end_line) + 1)
+    return any(rule_id in allowed.get(line, ()) for line in span)
+
+
+@dataclass
+class _FileRecord:
+    """Everything the run knows about one linted file."""
+
+    path: Path
+    display: str
+    module: str
+    source: str
+    tree: Optional[ast.Module]          # None: syntax error
+    allowed: dict[int, frozenset[str]] = field(default_factory=dict)
+    hash: str = ""
+    digest: str = ""                    # deps digest ("": uncacheable)
+    local: list[Diagnostic] = field(default_factory=list)
+    project: list[Diagnostic] = field(default_factory=list)
+
+
+def run_lint(paths: Sequence[str | Path], policy: Policy, *,
+             file_rules: Iterable[Rule] = FILE_RULES,
+             project_rules: Iterable[ProjectRule] = PROJECT_RULES,
+             cache_path: Optional[Path] = None) -> LintResult:
+    """Lint files and the whole program; optionally incremental."""
+    file_rules = tuple(file_rules)
+    project_rules = tuple(project_rules)
+    records: list[_FileRecord] = []
     for path in iter_python_files([Path(p) for p in paths]):
         source = path.read_text(encoding="utf-8")
-        diagnostics.extend(lint_source(source, path, policy,
-                                       rules=rules))
-    return sorted(diagnostics)
+        display = _display_path(path)
+        module = policy.module_name(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            record = _FileRecord(path, display, module, source, None)
+            record.local.append(Diagnostic(
+                display, exc.lineno or 1, exc.offset or 0, "SYNTAX",
+                f"cannot parse: {exc.msg}"))
+            records.append(record)
+            continue
+        record = _FileRecord(path, display, module, source, tree,
+                             hash=content_hash(source.encode("utf-8")))
+        allowed, sup_errors = parse_suppressions(source, KNOWN_RULE_IDS)
+        record.allowed = allowed
+        record.local.extend(
+            Diagnostic(display, err.line, 0, SUP01, err.message)
+            for err in sup_errors)
+        records.append(record)
+
+    graph = CallGraph.build(
+        [(r.module, r.path, r.tree) for r in records if r.tree is not None],
+        collect_calls=False)
+    by_module = {r.module: r for r in records
+                 if r.tree is not None and
+                 graph.modules[r.module].path == r.path}
+    for record in records:
+        if record.tree is None or record.module not in by_module or \
+                by_module[record.module] is not record:
+            continue  # uncacheable: syntax error or module collision
+        closure = graph.import_closure(record.module)
+        record.digest = deps_digest({
+            module: by_module[module].hash
+            for module in closure if module in by_module})
+
+    resolved = {rule.rule_id: policy.rule_policy(rule.rule_id,
+                                                 rule.default_policy)
+                for rule in (*file_rules, *project_rules)}
+    signature = run_signature(sorted(
+        (rule_id, rp.zones, rp.exempt)
+        for rule_id, rp in resolved.items()))
+    cache = LintCache(cache_path, signature)
+
+    valid: dict[str, CacheEntry] = {}
+    for record in records:
+        if not record.digest:
+            cache.misses += 1
+            continue
+        entry = cache.lookup(record.display, record.hash, record.digest)
+        if entry is not None:
+            valid[record.display] = entry
+
+    cacheable = [r for r in records if r.digest]
+    all_valid = bool(records) and len(valid) == len(records)
+    callgraph_line = ""
+    if all_valid:
+        for record in records:
+            entry = valid[record.display]
+            record.local.extend(_rows_to_diagnostics(record.display,
+                                                     entry.local))
+            record.project.extend(_rows_to_diagnostics(record.display,
+                                                       entry.project))
+        callgraph_line = cache.stats_line
+    else:
+        graph.complete_calls()
+        callgraph_line = graph.stats().format()
+        for record in records:
+            if record.tree is None:
+                continue
+            entry = valid.get(record.display)
+            if entry is not None:
+                record.local.extend(_rows_to_diagnostics(record.display,
+                                                         entry.local))
+            else:
+                record.local.extend(_check_file(record, file_rules,
+                                                resolved))
+        for rule in project_rules:
+            rule_policy = resolved[rule.rule_id]
+            for module, finding in rule.check_project(graph, rule_policy):
+                record = by_module.get(module)
+                if record is None:
+                    continue
+                if _suppressed(finding, rule.rule_id, record.allowed):
+                    continue
+                record.project.append(Diagnostic(
+                    record.display, finding.line, finding.col,
+                    rule.rule_id, finding.message))
+        for record in cacheable:
+            cache.store(record.display, CacheEntry(
+                content_hash=record.hash, deps_digest=record.digest,
+                local=_diagnostics_to_rows(record.local),
+                project=_diagnostics_to_rows(record.project)))
+        cache.drop_stale([r.display for r in cacheable])
+        cache.write(callgraph_line)
+
+    diagnostics = sorted(d for r in records
+                         for d in (*r.local, *r.project))
+    stats = LintStats(files=len(records), callgraph=callgraph_line,
+                      cache_hits=cache.hits, cache_misses=cache.misses)
+    return LintResult(diagnostics=tuple(diagnostics), stats=stats)
+
+
+def _check_file(record: _FileRecord, file_rules: Sequence[Rule],
+                resolved: dict) -> list[Diagnostic]:
+    assert record.tree is not None
+    ctx = ModuleContext(module=record.module, tree=record.tree,
+                        lines=tuple(record.source.splitlines()))
+    out: list[Diagnostic] = []
+    for rule in file_rules:
+        rule_policy = resolved[rule.rule_id]
+        if not rule_policy.applies_to(record.module):
+            continue
+        for finding in rule.check(ctx):
+            if _suppressed(finding, rule.rule_id, record.allowed):
+                continue
+            out.append(Diagnostic(record.display, finding.line,
+                                  finding.col, rule.rule_id,
+                                  finding.message))
+    return out
+
+
+def _rows_to_diagnostics(display: str,
+                         rows: Iterable[tuple]) -> list[Diagnostic]:
+    return [Diagnostic(display, line, col, rule, message)
+            for line, col, rule, message in rows]
+
+
+def _diagnostics_to_rows(diagnostics: Iterable[Diagnostic]) -> list:
+    return [(d.line, d.col, d.rule, d.message) for d in diagnostics]
+
+
+def lint_paths(paths: Sequence[str | Path], policy: Policy, *,
+               rules: Iterable[Rule] = FILE_RULES,
+               project_rules: Iterable[ProjectRule] = PROJECT_RULES,
+               ) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``; diagnostics, sorted."""
+    result = run_lint(paths, policy, file_rules=rules,
+                      project_rules=project_rules)
+    return list(result.diagnostics)
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:
@@ -121,15 +336,29 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--config", type=Path, default=None,
                         help="pyproject.toml to read zone policy from "
                              "(default: nearest above the first path)")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="diagnostic output format (default: text)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print file/cache/call-graph statistics")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the incremental "
+                             "cache")
+    parser.add_argument("--cache-file", type=Path, default=None,
+                        help="cache location (default: "
+                             ".replint-cache.json next to the config)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
+        for rule in (*FILE_RULES, *PROJECT_RULES):
             zones = ", ".join(rule.default_policy.zones)
-            print(f"{rule.rule_id}  {rule.summary}  [zones: {zones}]")
-        print(f"{SUP01}  {SUP01_SUMMARY}  [zones: everywhere]")
+            scope = ("whole-program"
+                     if isinstance(rule, ProjectRule) else "per-file")
+            print(f"{rule.rule_id}  {rule.summary}  [{scope}; "
+                  f"zones: {zones}]")
+        print(f"{SUP01}  {SUP01_SUMMARY}  [per-file; zones: everywhere]")
         return 0
 
     start = Path(args.paths[0]) if args.paths else Path.cwd()
@@ -146,11 +375,35 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
               + ", ".join(str(p) for p in missing))
         return 2
 
-    diagnostics = lint_paths(paths, policy)
-    for diagnostic in diagnostics:
-        print(diagnostic.format())
+    cache_path: Optional[Path] = None
+    if not args.no_cache:
+        if args.cache_file is not None:
+            cache_path = args.cache_file
+        elif policy.root is not None:
+            cache_path = policy.root / ".replint-cache.json"
+
+    result = run_lint(paths, policy, cache_path=cache_path)
+    diagnostics = result.diagnostics
+    if args.format == "json":
+        print(json.dumps({
+            "diagnostics": [
+                {"path": d.path, "line": d.line, "col": d.col,
+                 "rule": d.rule, "message": d.message}
+                for d in diagnostics],
+            "stats": {"files": result.stats.files,
+                      "cache_hits": result.stats.cache_hits,
+                      "cache_misses": result.stats.cache_misses,
+                      "callgraph": result.stats.callgraph},
+        }, indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format_github() if args.format == "github"
+                  else diagnostic.format())
+    if args.stats and args.format != "json":
+        print(result.stats.format())
     if diagnostics:
-        print(f"replint: {len(diagnostics)} diagnostic"
-              f"{'s' if len(diagnostics) != 1 else ''}")
+        if args.format != "json":
+            print(f"replint: {len(diagnostics)} diagnostic"
+                  f"{'s' if len(diagnostics) != 1 else ''}")
         return 1
     return 0

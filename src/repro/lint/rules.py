@@ -86,6 +86,27 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """Base for whole-program rules that see the call graph.
+
+    ``check_project`` yields ``(module_name, finding)`` pairs — the
+    engine maps the module back to its file for display and applies
+    that file's inline suppressions, exactly as for per-file rules.
+    The resolved :class:`~repro.lint.policy.RulePolicy` is passed in
+    because interprocedural rules need zone/exempt knowledge *during*
+    analysis (an exempt module must not seed taint), not only when
+    filtering findings.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    default_policy: RulePolicy = RulePolicy(zones=())
+
+    def check_project(self, graph, rule_policy: RulePolicy,
+                      ) -> Iterator[tuple[str, Finding]]:
+        raise NotImplementedError
+
+
 # ---------------------------------------------------------------------------
 # DET01 — ambient wall clock / module-level randomness
 # ---------------------------------------------------------------------------

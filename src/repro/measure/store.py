@@ -122,7 +122,7 @@ class ChunkedColumnStore:
         self._pt_index: dict[str, int] = {}
         self._targets: list[str] = []
         self._target_index: dict[str, int] = {}
-        self._categories: dict[str, set] = {}
+        self._categories: dict[str, set[str]] = {}
         self._first_category: dict[str, str] = {}
         self._status_counts: dict[str, list[int]] = {}
         self._scanned = False
@@ -257,7 +257,7 @@ class ChunkedColumnStore:
                 acc.add(values)
         table: dict[str, dict[str, float]] = {}
         for pt in self._pts:
-            row = {}
+            row: dict[str, float] = {}
             for target in self._targets:
                 acc = sums.get((pt, target))
                 if acc is not None:
@@ -445,7 +445,7 @@ class ShardedResultStore:
         if self._shard_counts is None:
             # Adopted shards: count lines once, on the first len() ask —
             # open() itself must not pay a full dataset pass.
-            counts = []
+            counts: list[int] = []
             for path in self._shards:
                 with path.open() as handle:
                     counts.append(sum(1 for line in handle

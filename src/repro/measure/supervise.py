@@ -45,7 +45,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Callable, Optional
+from typing import BinaryIO, Callable, Optional
 
 from repro.errors import ConfigError
 from repro.measure import faults as faults_mod
@@ -308,7 +308,7 @@ class Supervisor:
             (job, 1) for job in self.jobs)
         delayed: list[tuple[float, int, UnitJob, int]] = []
         seq = 0
-        running: dict[object, _Attempt] = {}
+        running: dict[mp_connection.Connection, _Attempt] = {}
         try:
             while ready or delayed or running:
                 now = time.monotonic()
@@ -341,6 +341,9 @@ class Supervisor:
                            else max(0.0, min(wakeups) - time.monotonic()))
                 for conn in mp_connection.wait(list(running),
                                                timeout=timeout):
+                    # wait() is typed to also yield sockets/fds, but we
+                    # only ever hand it pipe Connections.
+                    assert isinstance(conn, mp_connection.Connection)
                     attempt_state = running.pop(conn)
                     seq = self._reap(result, conn, attempt_state,
                                      ready, delayed, seq)
@@ -441,7 +444,7 @@ class UnitJournal:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.n_units = n_units
-        self._handle = None
+        self._handle: Optional[BinaryIO] = None
         self._good_end: Optional[int] = None
 
     def exists(self) -> bool:
@@ -538,10 +541,13 @@ class UnitJournal:
                       "attempts": attempts, "payload": payload})
 
     def _append(self, obj: dict) -> None:
+        handle = self._handle
+        if handle is None:
+            raise ConfigError("journal is not open")
         line = json.dumps(obj, sort_keys=True) + "\n"
-        self._handle.write(line.encode())
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        handle.write(line.encode())
+        handle.flush()
+        os.fsync(handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,247 @@
+"""Seeded-violation acceptance: one transitive violation per rule.
+
+This is the end-to-end contract for the whole-program rules: plant a
+violation whose *source* is two call hops below the zone entry point,
+run the real CLI, and pin the **exact** ``file:line:col: RULE``
+diagnostic — printed call chain included. If resolution, taint
+propagation, summary fixpoints, or diagnostic rendering regress in any
+visible way, these strings change.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import run
+
+
+def _write(root: Path, relative: str, source: str) -> Path:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+@pytest.fixture()
+def seeded_tree(tmp_path):
+    """One violation per whole-program rule (+ EXC01), two hops deep."""
+    # DET03: zone entry -> stamp -> read_clock -> time.time()
+    _write(tmp_path, "src/repro/util/clock.py", """\
+        import time
+
+        def read_clock():
+            return time.time()
+    """)
+    _write(tmp_path, "src/repro/util/mid.py", """\
+        from repro.util.clock import read_clock
+
+        def stamp():
+            return read_clock()
+    """)
+    _write(tmp_path, "src/repro/simnet/engine.py", """\
+        from repro.util.mid import stamp
+
+        def step():
+            return stamp()
+    """)
+    # DET04: zone entry -> pass_through -> gather -> set(...)
+    _write(tmp_path, "src/repro/util/collect.py", """\
+        def gather(items):
+            return set(items)
+    """)
+    _write(tmp_path, "src/repro/util/fwd.py", """\
+        from repro.util.collect import gather
+
+        def pass_through(items):
+            return gather(items)
+    """)
+    _write(tmp_path, "src/repro/measure/report.py", """\
+        from repro.util.fwd import pass_through
+
+        def render(items):
+            return ",".join(pass_through(items))
+    """)
+    # ATOM01: the write happens in stage -> write_raw; the zone
+    # function renames without any fsync on any path.
+    _write(tmp_path, "src/repro/util/raw.py", """\
+        def write_raw(handle, payload):
+            handle.write(payload)
+    """)
+    _write(tmp_path, "src/repro/util/stage.py", """\
+        from repro.util.raw import write_raw
+
+        def stage(handle, payload):
+            write_raw(handle, payload)
+    """)
+    _write(tmp_path, "src/repro/measure/publish.py", """\
+        import os
+
+        from repro.util.stage import stage
+
+        def publish(tmp, final, payload):
+            handle = open(tmp, "wb")  # replint: allow[IO01] -- fixture drives the raw protocol deliberately
+            try:
+                stage(handle, payload)
+            finally:
+                handle.close()
+            os.replace(tmp, final)
+    """)
+    # RES01: the handle is acquired through acquire -> raw_open and
+    # never closed.
+    _write(tmp_path, "src/repro/util/openers.py", """\
+        def raw_open(path):
+            return open(path, "ab")
+    """)
+    _write(tmp_path, "src/repro/util/midopen.py", """\
+        from repro.util.openers import raw_open
+
+        def acquire(path):
+            return raw_open(path)
+    """)
+    _write(tmp_path, "src/repro/measure/logger.py", """\
+        from repro.util.midopen import acquire
+
+        def start(path, line):
+            handle = acquire(path)
+            handle.write(line)
+    """)
+    # EXC01: a swallowing handler inside a supervisor zone module.
+    _write(tmp_path, "src/repro/measure/campaign.py", """\
+        def drain(queue):
+            try:
+                queue.flush()
+            except BaseException:
+                pass
+    """)
+    _write(tmp_path, "pyproject.toml", '[tool.replint]\npaths = ["src"]\n')
+    return tmp_path
+
+
+def _run_lint(tree: Path, capsys, *extra: str) -> tuple[int, str]:
+    code = run(["--no-cache", "--config", str(tree / "pyproject.toml"),
+                *extra, str(tree / "src")])
+    return code, capsys.readouterr().out
+
+
+def test_seeded_violations_exact_diagnostics(seeded_tree, capsys):
+    code, out = _run_lint(seeded_tree, capsys)
+    assert code == 1
+    src = seeded_tree / "src"
+    expected = [
+        f"{src}/repro/measure/campaign.py:4:4: EXC01 BaseException "
+        "swallows KeyboardInterrupt in a supervisor/teardown zone — "
+        "Ctrl-C must tear the campaign down deterministically; re-raise "
+        "(or os._exit in a worker) after cleanup",
+        f"{src}/repro/measure/logger.py:4:13: RES01 writable handle "
+        "'handle' is not closed on all paths (acquired via acquire -> "
+        "raw_open) — close it on every exit, or use 'with'",
+        f"{src}/repro/measure/publish.py:11:4: ATOM01 rename of 'tmp' "
+        "is reachable without a dominating fsync on all paths (written "
+        "via stage -> write_raw) — a crash here can publish an empty or "
+        "torn artifact; fsync the handle (and close it) before "
+        "renaming, or route through measure.io.write_shard/atomic_writer",
+        f"{src}/repro/measure/report.py:4:20: DET04 a set returned by "
+        "'gather' (repro.util.collect:2, a set) reaches join() in hash "
+        "order via render -> pass_through -> gather — sort in the "
+        "producer (sorted(...) with a deterministic key) or before "
+        "consuming",
+        f"{src}/repro/simnet/engine.py:4:11: DET03 'step' transitively "
+        "reaches time.time() via step -> stamp -> read_clock "
+        "(repro.util.clock:4) — inject simulated time / a seeded "
+        "random.Random instead of ambient state",
+        "replint: 5 diagnostics",
+    ]
+    assert out.splitlines() == expected
+
+
+def test_seeded_violations_are_individually_suppressible(seeded_tree,
+                                                         capsys):
+    """Inline allows silence project-rule findings at the flagged line."""
+    publish = seeded_tree / "src/repro/measure/publish.py"
+    source = publish.read_text().replace(
+        "    os.replace(tmp, final)",
+        "    os.replace(tmp, final)  "
+        "# replint: allow[ATOM01] -- test fixture accepts torn output")
+    publish.write_text(source)
+    code, out = _run_lint(seeded_tree, capsys)
+    assert code == 1
+    assert "ATOM01" not in out
+    assert "replint: 4 diagnostics" in out
+
+
+def test_seeded_violations_json_format(seeded_tree, capsys):
+    code, out = _run_lint(seeded_tree, capsys, "--format=json")
+    assert code == 1
+    payload = json.loads(out)
+    assert [d["rule"] for d in payload["diagnostics"]] == \
+        ["EXC01", "RES01", "ATOM01", "DET04", "DET03"]
+    det03 = payload["diagnostics"][-1]
+    assert det03["path"].endswith("src/repro/simnet/engine.py")
+    assert (det03["line"], det03["col"]) == (4, 11)
+    assert payload["stats"]["files"] == 13
+    assert "callgraph:" in payload["stats"]["callgraph"]
+
+
+def test_seeded_violations_github_format(seeded_tree, capsys):
+    code, out = _run_lint(seeded_tree, capsys, "--format=github")
+    assert code == 1
+    lines = out.splitlines()
+    annotations = [l for l in lines if l.startswith("::error ")]
+    assert len(annotations) == 5
+    engine = seeded_tree / "src/repro/simnet/engine.py"
+    expected_file = str(engine).replace(":", "%3A").replace(",", "%2C")
+    det03 = annotations[-1]
+    assert det03.startswith(f"::error file={expected_file},line=4,col=11,"
+                            "title=replint DET03::")
+    # Workflow-command payloads must stay single-line; the em-dash
+    # message text rides through unescaped but newline-free.
+    assert "\n" not in det03 and "%0A" not in det03
+
+
+def test_fixed_tree_is_clean(seeded_tree, capsys):
+    """Applying the diagnostics' own advice clears every finding."""
+    _write(seeded_tree, "src/repro/util/clock.py", """\
+        def read_clock(clock):
+            return clock.now()
+    """)
+    _write(seeded_tree, "src/repro/util/collect.py", """\
+        def gather(items):
+            return sorted(set(items))
+    """)
+    _write(seeded_tree, "src/repro/measure/publish.py", """\
+        import os
+
+        from repro.util.stage import stage
+
+        def publish(tmp, final, payload):
+            handle = open(tmp, "wb")  # replint: allow[IO01] -- fixture drives the raw protocol deliberately
+            try:
+                stage(handle, payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                handle.close()
+            os.replace(tmp, final)
+    """)
+    _write(seeded_tree, "src/repro/measure/logger.py", """\
+        from repro.util.midopen import acquire
+
+        def start(path, line):
+            handle = acquire(path)
+            try:
+                handle.write(line)
+            finally:
+                handle.close()
+    """)
+    _write(seeded_tree, "src/repro/measure/campaign.py", """\
+        def drain(queue):
+            try:
+                queue.flush()
+            except BaseException:
+                queue.abort()
+                raise
+    """)
+    code, out = _run_lint(seeded_tree, capsys)
+    assert (code, out) == (0, "")

@@ -1,0 +1,152 @@
+"""The incremental cache: hits, transitive invalidation, soundness.
+
+The dangerous failure mode for an incremental whole-program linter is
+a *stale verdict*: edit a leaf helper, and a cached "clean" for its
+zone-level caller hides a brand-new transitive violation. These tests
+pin the invalidation relation (content hash + import-closure digest +
+run signature) against exactly that scenario.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import Policy, RulePolicy, run_lint
+from repro.lint.engine import run
+
+
+def _write(root: Path, module: str, source: str) -> Path:
+    path = root / "src" / Path(*module.split(".")).with_suffix(".py")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _chain_tree(root: Path, *, ambient: bool) -> None:
+    """engine -> mid -> clock, with/without a wall-clock read at the leaf."""
+    _write(root, "repro.util.clock", """\
+        import time
+
+        def read_clock():
+            return time.time()
+    """ if ambient else """\
+        def read_clock():
+            return 0.0
+    """)
+    _write(root, "repro.util.mid", """\
+        from repro.util.clock import read_clock
+
+        def stamp():
+            return read_clock()
+    """)
+    _write(root, "repro.simnet.engine", """\
+        from repro.util.mid import stamp
+
+        def step():
+            return stamp()
+    """)
+    _write(root, "repro.web.standalone", """\
+        def unrelated():
+            return 1
+    """)
+
+
+def test_warm_run_hits_everything_and_repeats_diagnostics(tmp_path):
+    _chain_tree(tmp_path, ambient=True)
+    cache = tmp_path / "cache.json"
+    cold = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    warm = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    assert (cold.stats.cache_hits, cold.stats.cache_misses) == (0, 4)
+    assert (warm.stats.cache_hits, warm.stats.cache_misses) == (4, 0)
+    assert warm.diagnostics == cold.diagnostics
+    assert any(d.rule == "DET03" for d in warm.diagnostics)
+    # The fully-warm run skips the interprocedural pass but still
+    # reports the cached call-graph stats line.
+    assert warm.stats.callgraph == cold.stats.callgraph
+    assert "callgraph:" in warm.stats.callgraph
+
+
+def test_editing_a_leaf_invalidates_its_dependents(tmp_path):
+    _chain_tree(tmp_path, ambient=False)
+    cache = tmp_path / "cache.json"
+    clean = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    assert clean.diagnostics == ()
+
+    # Introduce the ambient read two hops below the zone. A cache that
+    # only hashed per-file content would serve the stale "clean" for
+    # engine.py; the import-closure digest must not.
+    _chain_tree(tmp_path, ambient=True)
+    warm = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    assert [d.rule for d in warm.diagnostics] == ["DET03"]
+    # clock changed; mid and engine transitively import it; only the
+    # standalone module is served from cache.
+    assert (warm.stats.cache_hits, warm.stats.cache_misses) == (1, 3)
+
+
+def test_editing_unrelated_file_keeps_the_chain_cached(tmp_path):
+    _chain_tree(tmp_path, ambient=True)
+    cache = tmp_path / "cache.json"
+    run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    _write(tmp_path, "repro.web.standalone", """\
+        def unrelated():
+            return 2
+    """)
+    warm = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    assert (warm.stats.cache_hits, warm.stats.cache_misses) == (3, 1)
+    assert any(d.rule == "DET03" for d in warm.diagnostics)
+
+
+def test_zone_policy_change_drops_the_whole_cache(tmp_path):
+    _chain_tree(tmp_path, ambient=True)
+    cache = tmp_path / "cache.json"
+    run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    widened = Policy(rules={"DET03": RulePolicy(
+        zones=("repro.simnet", "repro.web"))})
+    warm = run_lint([tmp_path / "src"], widened, cache_path=cache)
+    assert warm.stats.cache_hits == 0  # signature mismatch: cold start
+
+
+def test_corrupt_cache_file_starts_cold_without_crashing(tmp_path):
+    _chain_tree(tmp_path, ambient=True)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    result = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+    assert result.stats.cache_hits == 0
+    assert any(d.rule == "DET03" for d in result.diagnostics)
+    # The run rewrote a valid cache behind itself.
+    assert json.loads(cache.read_text())["files"]
+
+
+def test_syntax_error_files_are_never_cached(tmp_path):
+    _chain_tree(tmp_path, ambient=False)
+    path = tmp_path / "src" / "repro" / "web" / "broken.py"
+    path.write_text("def broken(:\n")
+    cache = tmp_path / "cache.json"
+    for _ in range(2):
+        result = run_lint([tmp_path / "src"], Policy(), cache_path=cache)
+        assert [d.rule for d in result.diagnostics] == ["SYNTAX"]
+    cached_files = json.loads(cache.read_text())["files"]
+    assert not any(key.endswith("broken.py") for key in cached_files)
+
+
+def test_cli_no_cache_does_not_touch_the_cache_file(tmp_path, capsys):
+    _chain_tree(tmp_path, ambient=True)
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.replint]\npaths = ["src"]\n')
+    cache = tmp_path / ".replint-cache.json"
+    code = run(["--no-cache", "--config", str(tmp_path / "pyproject.toml"),
+                str(tmp_path / "src")])
+    capsys.readouterr()
+    assert code == 1  # the DET03 chain fires
+    assert not cache.exists()
+
+
+def test_cli_default_cache_lives_next_to_the_config(tmp_path, capsys):
+    _chain_tree(tmp_path, ambient=False)
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.replint]\npaths = ["src"]\n')
+    code = run(["--config", str(tmp_path / "pyproject.toml"),
+                str(tmp_path / "src")])
+    capsys.readouterr()
+    assert code == 0
+    assert (tmp_path / ".replint-cache.json").is_file()

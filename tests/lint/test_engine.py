@@ -1,8 +1,10 @@
 """Engine + CLI: file walking, diagnostics, exit codes, self-test.
 
-The acceptance fixture plants exactly one violation per rule in a
-zone-addressed ``src/repro/...`` tree and pins each diagnostic to its
-``file:line`` — the contract the CI gate rests on. The self-test then
+The acceptance fixture plants exactly one violation per per-file rule
+in a zone-addressed ``src/repro/...`` tree and pins each diagnostic to
+its ``file:line`` — the contract the CI gate rests on (the
+whole-program rules get the same treatment in ``test_acceptance.py``,
+with violations planted two call hops deep). The self-test then
 turns the checker on the shipped repository itself: the tree must be
 diagnostic-free (fixed or explicitly suppressed), or the gate is lying.
 """

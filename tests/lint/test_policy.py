@@ -78,11 +78,11 @@ def test_find_pyproject_walks_up(tmp_path):
 def test_repo_pyproject_mirrors_builtin_zone_defaults():
     """The checked-in [tool.replint] tables must match the rule
     defaults — the config exists for visibility, not divergence."""
-    from repro.lint.rules import RULES
+    from repro.lint.registry import FILE_RULES, PROJECT_RULES
 
     root = Path(__file__).resolve().parents[2]
     policy = load_policy(root / "pyproject.toml")
-    for rule in RULES:
+    for rule in (*FILE_RULES, *PROJECT_RULES):
         configured = policy.rule_policy(rule.rule_id, rule.default_policy)
         assert set(configured.zones) == set(rule.default_policy.zones), \
             rule.rule_id
