@@ -100,6 +100,10 @@ def reset_world_tracking() -> None:
     inherited from the parent: the parent will never read that copy,
     and banking into it keeps the child's last World alive. Unit
     payloads carry their perf summaries explicitly instead.
+
+    This is the dominating-reset pattern replint's MP03 fork-hygiene
+    rule checks for: a ``global``-rebinding ``reset_*`` call sequenced
+    before the first use of the state inside every child entry point.
     """
     global _tracked_worlds
     # replint: allow[MP01] -- this *is* the fork-hygiene reset hook

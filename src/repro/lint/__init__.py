@@ -13,12 +13,17 @@ Per-file rules (see :mod:`repro.lint.rules` and
 ``docs/static-analysis.md``): DET01 ambient clock/randomness, DET02
 unordered set iteration, NUM01 bare float accumulation, IO01 raw
 writable ``open``, MP01 fork-unsafe module state, EXC01 swallowed
-``KeyboardInterrupt`` in supervisor zones, SUP01 malformed
-suppressions. Whole-program rules, built on the project call graph
+``KeyboardInterrupt`` in supervisor zones, ASY01 blocking calls
+inside ``async def``, SUP01 malformed suppressions. Whole-program
+rules, built on the project call graph
 (:mod:`repro.lint.callgraph`): DET03 transitive ambient-source reach,
 DET04 unordered iteration escaping through return values
 (:mod:`repro.lint.taint`), ATOM01 rename without a dominating fsync,
-RES01 leaked writable handles (:mod:`repro.lint.protocol`). Zone
+RES01 leaked writable handles (:mod:`repro.lint.protocol`), and the
+concurrency layer (:mod:`repro.lint.concurrency`): MP02 pickle-safety
+at process boundaries, MP03 fork hygiene (reset-dominated child
+state), RES02 Process/Connection lifecycle automata, SIG01
+signal-path safety. Zone
 policy comes from ``[tool.replint]`` in ``pyproject.toml``
 (:mod:`repro.lint.policy`); per-line escapes are
 ``# replint: allow[RULE] -- justification``

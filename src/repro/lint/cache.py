@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
@@ -49,10 +50,53 @@ def deps_digest(closure_hashes: Mapping[str, str]) -> str:
     return hashlib.sha256(feed.encode("utf-8")).hexdigest()
 
 
-def run_signature(rule_ids_and_zones: Sequence[tuple]) -> str:
-    """Signature of the rule registry + resolved zone policy."""
-    feed = json.dumps([_FORMAT_VERSION, *rule_ids_and_zones],
-                      sort_keys=True)
+def _package_digest(package_dir: Path) -> str:
+    """Digest of every ``*.py`` source under a package directory.
+
+    Zone tables and rule ids are explicit signature inputs, but a rule
+    *implementation* edit changes verdicts without changing either —
+    the cache must cold-start on it rather than serve stale findings.
+    """
+    digest = hashlib.sha256()
+    try:
+        sources = sorted(package_dir.rglob("*.py"))
+    except OSError:
+        return "unreadable"
+    for source in sources:
+        digest.update(str(source.relative_to(package_dir)).encode())
+        try:
+            digest.update(source.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+    return digest.hexdigest()
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def lint_fingerprint() -> str:
+    """Interpreter version + digest of replint's own sources.
+
+    Folded into every run signature so a Python upgrade (ast shapes
+    and parse behavior change across versions) or an edit to any
+    module of :mod:`repro.lint` itself invalidates the whole cache.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        version = ".".join(str(part) for part in sys.version_info[:3])
+        package = _package_digest(Path(__file__).resolve().parent)
+        _FINGERPRINT = f"py{version}:{package}"
+    return _FINGERPRINT
+
+
+def run_signature(rule_ids_and_zones: Sequence[tuple], *,
+                  fingerprint: Optional[str] = None) -> str:
+    """Signature of the rule registry + resolved zone policy + the
+    lint toolchain itself (see :func:`lint_fingerprint`)."""
+    if fingerprint is None:
+        fingerprint = lint_fingerprint()
+    feed = json.dumps([_FORMAT_VERSION, fingerprint,
+                       *rule_ids_and_zones], sort_keys=True)
     return hashlib.sha256(feed.encode("utf-8")).hexdigest()
 
 

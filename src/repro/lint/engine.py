@@ -316,6 +316,34 @@ def lint_paths(paths: Sequence[str | Path], policy: Policy, *,
     return list(result.diagnostics)
 
 
+def _git_changed_files(root: Path) -> Optional[frozenset[Path]]:
+    """Python files git sees as modified or untracked under ``root``.
+
+    Returns None when git is unavailable or ``root`` is not a
+    checkout — the caller reports a usage error rather than silently
+    linting nothing.
+    """
+    import subprocess
+
+    files: set[Path] = set()
+    for command in (
+            ["git", "-C", str(root), "diff", "--name-only", "HEAD",
+             "--"],
+            ["git", "-C", str(root), "ls-files", "--others",
+             "--exclude-standard"]):
+        try:
+            proc = subprocess.run(command, capture_output=True,
+                                  text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            if line.endswith(".py"):
+                files.add((root / line).resolve())
+    return frozenset(files)
+
+
 def run(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -349,6 +377,12 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                              ".replint-cache.json next to the config)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
+    parser.add_argument("--changed", action="store_true",
+                        help="report only findings in files git "
+                             "considers changed (uncommitted edits + "
+                             "untracked); the whole-program pass still "
+                             "runs — through the warm cache — so "
+                             "interprocedural verdicts stay correct")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -382,8 +416,24 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         elif policy.root is not None:
             cache_path = policy.root / ".replint-cache.json"
 
+    changed_files: Optional[frozenset[Path]] = None
+    if args.changed:
+        root = (policy.root if policy.root is not None
+                else Path.cwd())
+        changed_files = _git_changed_files(root)
+        if changed_files is None:
+            print("replint: --changed requires a git checkout "
+                  "(git diff/ls-files failed)")
+            return 2
+        if not changed_files:
+            return 0
+
     result = run_lint(paths, policy, cache_path=cache_path)
     diagnostics = result.diagnostics
+    if changed_files is not None:
+        keep = {str(p) for p in changed_files}
+        diagnostics = [d for d in diagnostics
+                       if str(Path(d.path).resolve()) in keep]
     if args.format == "json":
         print(json.dumps({
             "diagnostics": [

@@ -34,6 +34,12 @@ drops out of tracking — the conservative, non-flagging direction.
 whose handler catches ``BaseException``/``KeyboardInterrupt`` (or is
 bare) must re-``raise`` or hard-exit (``os._exit``); anything else
 swallows Ctrl-C and breaks PR 6's deterministic-teardown guarantee.
+
+The interpreter skeleton — branch joins, the exception channel,
+``with``/``finally`` routing, fixpoint effect summaries — is reused
+by :mod:`repro.lint.concurrency`'s RES02 lifecycle automata, which
+run Process/Connection state machines over the same control-flow
+walk. Changes to the statement walk here should be mirrored there.
 """
 
 from __future__ import annotations

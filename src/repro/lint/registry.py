@@ -9,6 +9,13 @@ cycle. The engine and CLI import from here.
 
 from __future__ import annotations
 
+from repro.lint.concurrency import (
+    BlockingAsyncRule,
+    ForkHygieneRule,
+    PickleSafetyRule,
+    ProcessLifecycleRule,
+    SignalPathRule,
+)
 from repro.lint.protocol import (
     AtomicRenameRule,
     HandleLeakRule,
@@ -19,8 +26,10 @@ from repro.lint.taint import EscapedOrderRule, TransitiveAmbientRule
 
 #: Per-file rules, in reporting order. EXC01 is module-local (a
 #: handler either re-raises or it doesn't) even though it ships with
-#: the protocol checker.
-FILE_RULES: tuple[Rule, ...] = (*RULES, SwallowedInterruptRule())
+#: the protocol checker; ASY01 is module-local too (an ``async def``
+#: either blocks or it doesn't).
+FILE_RULES: tuple[Rule, ...] = (*RULES, SwallowedInterruptRule(),
+                                BlockingAsyncRule())
 
 #: Whole-program rules — these see the call graph.
 PROJECT_RULES: tuple[ProjectRule, ...] = (
@@ -28,6 +37,10 @@ PROJECT_RULES: tuple[ProjectRule, ...] = (
     EscapedOrderRule(),
     AtomicRenameRule(),
     HandleLeakRule(),
+    PickleSafetyRule(),
+    ForkHygieneRule(),
+    ProcessLifecycleRule(),
+    SignalPathRule(),
 )
 
 #: Every rule id an ``allow[...]`` comment may name.

@@ -588,6 +588,10 @@ _MUTATING_METHODS = frozenset({
 
 
 class ForkStateRule(Rule):
+    # MP03 (repro.lint.concurrency) is this rule's interprocedural
+    # dual: MP01 flags the parent-side mutation per file; MP03 walks
+    # the call graph from child entry points and proves the child
+    # resets the state before first use.
     rule_id = "MP01"
     summary = ("module-level mutable state mutated from function scope "
                "— forked supervised workers inherit a diverging copy")

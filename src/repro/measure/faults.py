@@ -55,7 +55,7 @@ import os
 import random
 import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import MutableMapping, Optional
 
 from repro.errors import ConfigError
 
@@ -172,7 +172,8 @@ class FaultPlan:
         return cls(faults=faults,
                    kill_parent_after=None if kill is None else int(kill))
 
-    def to_env(self, env: Optional[dict] = None) -> dict:
+    def to_env(self, env: Optional[MutableMapping[str, str]] = None,
+               ) -> MutableMapping[str, str]:
         """Set the env hook in ``env`` (default: this process's)."""
         target = os.environ if env is None else env
         target[FAULT_PLAN_ENV] = self.to_json()

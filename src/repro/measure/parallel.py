@@ -60,7 +60,7 @@ import os
 import signal
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.config import Scale, WorldConfig
 from repro.core import world as world_mod
@@ -189,6 +189,8 @@ def _execute_unit(unit: WorkUnit) -> tuple[ResultSet, dict, Optional[dict]]:
                  "title": result.title, "text": result.text,
                  "metrics": result.metrics, "paper": result.paper})
     cell = unit.cell
+    assert spec.base_config is not None and cell is not None, \
+        "matrix unit without base_config/cell (CampaignSpec.__post_init__)"
     config = replace(spec.base_config, seed=unit.seed,
                      client_city=cell.client, server_city=cell.server,
                      **dict(cell.overrides))
@@ -485,7 +487,7 @@ class ParallelCampaign:
                 experiment=payload["experiment"])
             for payload in ordered
         ]
-        merged = measure_io.merge(unit.results for unit in results)
+        merged = measure_io.merge(unit.load_results() for unit in results)
         return CampaignOutcome(spec=self.spec, units=results, merged=merged,
                                workers=self.workers,
                                failed=supervised.failures,
@@ -500,6 +502,7 @@ class ParallelCampaign:
         digest-verified shards, and re-running only missing units.
         """
         spool_dir = self.spool_dir
+        assert spool_dir is not None  # run() dispatches here only when set
         spool_dir.mkdir(parents=True, exist_ok=True)
         merged_dir = spool_dir / MERGED_SUBDIR
         journal = UnitJournal(spool_dir / JOURNAL_NAME,
@@ -616,7 +619,7 @@ class ParallelCampaign:
         Returns the per-shard line counts, in shard order.
         """
         counts: list[int] = []
-        writer = None
+        writer: Optional[measure_io.AtomicShardWriter] = None
         try:
             for payload in payloads:
                 with open(payload["shard"]) as unit:
@@ -664,7 +667,7 @@ def _absolute_shard(payload: dict, spool_dir: Path) -> dict:
     return entry
 
 
-def _shard_adoptable(spool_dir: Path):
+def _shard_adoptable(spool_dir: Path) -> Callable[[dict], Optional[str]]:
     """Journal validator: adopt a unit only if its shard bytes still
     match the journaled digest; quarantine anything that doesn't."""
 

@@ -317,18 +317,27 @@ class Supervisor:
                     ready.append((job, attempt))
                 while ready and len(running) < self.workers:
                     job, attempt = ready.popleft()
-                    recv_end, send_end = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=_child_main,
-                        args=(send_end, self.fn, job, attempt - 1,
-                              self.fault_plan),
-                        daemon=True)
-                    proc.start()
-                    send_end.close()
-                    result.counters["workers_spawned"] += 1
                     deadline = (None if policy.unit_timeout_s is None
                                 else time.monotonic() + policy.unit_timeout_s)
+                    recv_end, send_end = ctx.Pipe(duplex=False)
+                    try:
+                        proc = ctx.Process(
+                            target=_child_main,
+                            args=(send_end, self.fn, job, attempt - 1,
+                                  self.fault_plan),
+                            daemon=True)
+                        proc.start()
+                    except BaseException:
+                        # Spawn failed mid-window: neither pipe end is
+                        # registered in ``running`` yet, so the outer
+                        # teardown cannot see them — close both here
+                        # or the fds leak for the campaign's lifetime.
+                        send_end.close()
+                        recv_end.close()
+                        raise
+                    send_end.close()
                     running[recv_end] = _Attempt(proc, job, attempt, deadline)
+                    result.counters["workers_spawned"] += 1
                 if not running:
                     # Only backoff-delayed work remains: wait it out.
                     time.sleep(max(0.0, delayed[0][0] - time.monotonic()))

@@ -115,6 +115,100 @@ def seeded_tree(tmp_path):
             except BaseException:
                 pass
     """)
+    # MP02: the Process target is a lambda built two hops below the
+    # zone (make_task -> make_lambda).
+    _write(tmp_path, "src/repro/util/factory.py", """\
+        def make_lambda():
+            return lambda: None
+
+        def make_task():
+            return make_lambda()
+    """)
+    _write(tmp_path, "src/repro/measure/spawn.py", """\
+        import multiprocessing as mp
+
+        from repro.util.factory import make_task
+
+        def launch():
+            task = make_task()
+            proc = mp.Process(target=task)
+            proc.start()
+            proc.join()
+    """)
+    # MP03: the child entry reaches fork-inherited mutable state two
+    # hops down (worker -> record -> remember) with no reset first.
+    _write(tmp_path, "src/repro/util/state.py", """\
+        CACHE = {}
+
+        def remember(key, value):
+            CACHE[key] = value
+
+        def reset_cache():
+            global CACHE
+            CACHE = {}
+    """)
+    _write(tmp_path, "src/repro/util/record.py", """\
+        from repro.util.state import remember
+
+        def record(job):
+            remember(job, 1)
+    """)
+    _write(tmp_path, "src/repro/measure/worker.py", """\
+        import multiprocessing as mp
+
+        from repro.util.record import record
+
+        def worker(job):
+            record(job)
+
+        def launch(job):
+            proc = mp.Process(target=worker, args=(job,))
+            proc.start()
+            proc.join()
+    """)
+    # RES02: a helper chain (launch -> begin) hands back a started
+    # process; the zone caller never joins it.
+    _write(tmp_path, "src/repro/util/procs.py", """\
+        import multiprocessing as mp
+
+        def begin(job):
+            proc = mp.Process(target=job)
+            proc.start()
+            return proc
+
+        def launch(job):
+            return begin(job)
+    """)
+    _write(tmp_path, "src/repro/measure/camp.py", """\
+        from repro.util.procs import launch
+
+        def campaign(job):
+            proc = launch(job)
+    """)
+    # SIG01: the registered handler reaches a buffered flush two hops
+    # down (_on_term -> drain_logs).
+    _write(tmp_path, "src/repro/util/drain.py", """\
+        def drain_logs(stream):
+            stream.flush()
+    """)
+    _write(tmp_path, "src/repro/measure/daemon.py", """\
+        import signal
+
+        from repro.util.drain import drain_logs
+
+        def _on_term(signum, frame):
+            drain_logs(None)
+
+        def install():
+            signal.signal(signal.SIGTERM, _on_term)
+    """)
+    # ASY01: a blocking sleep inside the serve zone's event loop.
+    _write(tmp_path, "src/repro/serve/daemon.py", """\
+        import time
+
+        async def poll_loop(interval):
+            time.sleep(interval)
+    """)
     _write(tmp_path, "pyproject.toml", '[tool.replint]\npaths = ["src"]\n')
     return tmp_path
 
@@ -130,10 +224,18 @@ def test_seeded_violations_exact_diagnostics(seeded_tree, capsys):
     assert code == 1
     src = seeded_tree / "src"
     expected = [
+        f"{src}/repro/measure/camp.py:4:11: RES02 process 'proc' is "
+        "not joined on all paths (spawned via launch -> begin) — join "
+        "(or terminate, then join) on every exit, teardown included",
         f"{src}/repro/measure/campaign.py:4:4: EXC01 BaseException "
         "swallows KeyboardInterrupt in a supervisor/teardown zone — "
         "Ctrl-C must tear the campaign down deterministically; re-raise "
         "(or os._exit in a worker) after cleanup",
+        f"{src}/repro/measure/daemon.py:9:4: SIG01 signal handler "
+        "'_on_term' flushes a buffered stream (repro.util.drain:2) "
+        "(via _on_term -> drain_logs) — a handler can run inside any "
+        "bytecode; restrict it to async-signal-tolerant work (set a "
+        "flag, os.write to a pipe)",
         f"{src}/repro/measure/logger.py:4:13: RES01 writable handle "
         "'handle' is not closed on all paths (acquired via acquire -> "
         "raw_open) — close it on every exit, or use 'with'",
@@ -147,11 +249,24 @@ def test_seeded_violations_exact_diagnostics(seeded_tree, capsys):
         "order via render -> pass_through -> gather — sort in the "
         "producer (sorted(...) with a deterministic key) or before "
         "consuming",
+        f"{src}/repro/measure/spawn.py:7:11: MP02 target of "
+        "mp.Process(...) crosses a process boundary but is a lambda "
+        "(repro.util.factory:2) (via make_task -> make_lambda) — "
+        "processes pickle everything they receive; pass module-level "
+        "functions and plain data",
+        f"{src}/repro/measure/worker.py:5:0: MP03 child entry "
+        "'worker' reaches module-level mutable 'CACHE' "
+        "(repro.util.state:1) (via worker -> record -> remember) "
+        "without a dominating reset — forked workers inherit the "
+        "parent's state; call its reset helper first in the child",
+        f"{src}/repro/serve/daemon.py:4:4: ASY01 blocking "
+        "time.sleep() inside 'async def poll_loop' stalls the event "
+        "loop — await asyncio.sleep() instead",
         f"{src}/repro/simnet/engine.py:4:11: DET03 'step' transitively "
         "reaches time.time() via step -> stamp -> read_clock "
         "(repro.util.clock:4) — inject simulated time / a seeded "
         "random.Random instead of ambient state",
-        "replint: 5 diagnostics",
+        "replint: 10 diagnostics",
     ]
     assert out.splitlines() == expected
 
@@ -168,7 +283,7 @@ def test_seeded_violations_are_individually_suppressible(seeded_tree,
     code, out = _run_lint(seeded_tree, capsys)
     assert code == 1
     assert "ATOM01" not in out
-    assert "replint: 4 diagnostics" in out
+    assert "replint: 9 diagnostics" in out
 
 
 def test_seeded_violations_json_format(seeded_tree, capsys):
@@ -176,11 +291,12 @@ def test_seeded_violations_json_format(seeded_tree, capsys):
     assert code == 1
     payload = json.loads(out)
     assert [d["rule"] for d in payload["diagnostics"]] == \
-        ["EXC01", "RES01", "ATOM01", "DET04", "DET03"]
+        ["RES02", "EXC01", "SIG01", "RES01", "ATOM01", "DET04",
+         "MP02", "MP03", "ASY01", "DET03"]
     det03 = payload["diagnostics"][-1]
     assert det03["path"].endswith("src/repro/simnet/engine.py")
     assert (det03["line"], det03["col"]) == (4, 11)
-    assert payload["stats"]["files"] == 13
+    assert payload["stats"]["files"] == 23
     assert "callgraph:" in payload["stats"]["callgraph"]
 
 
@@ -189,7 +305,7 @@ def test_seeded_violations_github_format(seeded_tree, capsys):
     assert code == 1
     lines = out.splitlines()
     annotations = [l for l in lines if l.startswith("::error ")]
-    assert len(annotations) == 5
+    assert len(annotations) == 10
     engine = seeded_tree / "src/repro/simnet/engine.py"
     expected_file = str(engine).replace(":", "%3A").replace(",", "%2C")
     det03 = annotations[-1]
@@ -242,6 +358,63 @@ def test_fixed_tree_is_clean(seeded_tree, capsys):
             except BaseException:
                 queue.abort()
                 raise
+    """)
+    # MP02: pass a module-level function instead of a built lambda.
+    _write(seeded_tree, "src/repro/measure/spawn.py", """\
+        import multiprocessing as mp
+
+        def task():
+            return None
+
+        def launch():
+            proc = mp.Process(target=task)
+            proc.start()
+            proc.join()
+    """)
+    # MP03: reset the inherited state before the child touches it.
+    _write(seeded_tree, "src/repro/measure/worker.py", """\
+        import multiprocessing as mp
+
+        from repro.util.record import record
+        from repro.util.state import reset_cache
+
+        def worker(job):
+            reset_cache()
+            record(job)
+
+        def launch(job):
+            proc = mp.Process(target=worker, args=(job,))
+            proc.start()
+            proc.join()
+    """)
+    # RES02: the caller joins the process the helper handed back.
+    _write(seeded_tree, "src/repro/measure/camp.py", """\
+        from repro.util.procs import launch
+
+        def campaign(job):
+            proc = launch(job)
+            proc.join()
+    """)
+    # SIG01: the handler does only async-signal-tolerant work — one
+    # os.write to a wakeup pipe, exactly as the diagnostic advises.
+    _write(seeded_tree, "src/repro/measure/daemon.py", """\
+        import os
+        import signal
+
+        WAKEUP_FD = 2
+
+        def _on_term(signum, frame):
+            os.write(WAKEUP_FD, b"x")
+
+        def install():
+            signal.signal(signal.SIGTERM, _on_term)
+    """)
+    # ASY01: yield to the event loop instead of blocking it.
+    _write(seeded_tree, "src/repro/serve/daemon.py", """\
+        import asyncio
+
+        async def poll_loop(interval):
+            await asyncio.sleep(interval)
     """)
     code, out = _run_lint(seeded_tree, capsys)
     assert (code, out) == (0, "")

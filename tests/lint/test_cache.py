@@ -8,10 +8,18 @@ run signature) against exactly that scenario.
 """
 
 import json
+import sys
 import textwrap
 from pathlib import Path
 
 from repro.lint import Policy, RulePolicy, run_lint
+from repro.lint.cache import (
+    CacheEntry,
+    LintCache,
+    _package_digest,
+    lint_fingerprint,
+    run_signature,
+)
 from repro.lint.engine import run
 
 
@@ -150,3 +158,57 @@ def test_cli_default_cache_lives_next_to_the_config(tmp_path, capsys):
     capsys.readouterr()
     assert code == 0
     assert (tmp_path / ".replint-cache.json").is_file()
+
+
+# ---------------------------------------------------------------------------
+# toolchain fingerprint — the signature covers replint itself
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_carries_interpreter_version_and_source_digest():
+    version = ".".join(str(part) for part in sys.version_info[:3])
+    fingerprint = lint_fingerprint()
+    assert fingerprint.startswith(f"py{version}:")
+    digest = fingerprint.partition(":")[2]
+    assert len(digest) == 64 and all(c in "0123456789abcdef"
+                                     for c in digest)
+    # Module-global memoization: same object every call.
+    assert lint_fingerprint() is fingerprint
+
+
+def test_run_signature_differs_across_fingerprints():
+    rows = [("DET03", ("repro.simnet",), ())]
+    upgraded = run_signature(rows, fingerprint="py3.99.0:aaaa")
+    edited = run_signature(rows, fingerprint="py3.99.0:bbbb")
+    assert upgraded != edited  # a rule-source edit alone invalidates
+    assert run_signature(rows, fingerprint="py3.11.0:aaaa") != upgraded
+    # The default folds in the real toolchain fingerprint.
+    assert run_signature(rows) == \
+        run_signature(rows, fingerprint=lint_fingerprint())
+
+
+def test_package_digest_tracks_source_edits(tmp_path):
+    package = tmp_path / "fakepkg"
+    package.mkdir()
+    (package / "a.py").write_text("A = 1\n")
+    before = _package_digest(package)
+    (package / "a.py").write_text("A = 2\n")
+    edited = _package_digest(package)
+    assert edited != before
+    (package / "b.py").write_text("B = 1\n")
+    assert _package_digest(package) != edited
+
+
+def test_signature_mismatch_cold_starts_the_cache(tmp_path):
+    path = tmp_path / "cache.json"
+    old = LintCache(path, run_signature([("X", (), ())],
+                                        fingerprint="py3.11.0:aaaa"))
+    old.store("mod.py", CacheEntry(content_hash="c", deps_digest="d"))
+    old.write()
+    # Same rules, different toolchain fingerprint — e.g. a Python
+    # upgrade or an edit anywhere under repro.lint.
+    fresh = LintCache(path, run_signature([("X", (), ())],
+                                          fingerprint="py3.12.0:aaaa"))
+    assert fresh.entries == {}
+    same = LintCache(path, old.signature)
+    assert "mod.py" in same.entries

@@ -144,7 +144,8 @@ def test_cli_exit_codes(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert run(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("DET01", "DET02", "NUM01", "IO01", "MP01", "SUP01"):
+    for rule in ("DET01", "DET02", "NUM01", "IO01", "MP01", "SUP01",
+                 "MP02", "MP03", "RES02", "SIG01", "ASY01"):
         assert rule in out
 
 

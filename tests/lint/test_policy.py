@@ -83,6 +83,11 @@ def test_repo_pyproject_mirrors_builtin_zone_defaults():
     root = Path(__file__).resolve().parents[2]
     policy = load_policy(root / "pyproject.toml")
     for rule in (*FILE_RULES, *PROJECT_RULES):
+        # The table must be *present* — rule_policy falls back to the
+        # default on a missing table, which would make this test pass
+        # vacuously for any rule someone forgets to mirror.
+        assert rule.rule_id in policy.rules, \
+            f"pyproject.toml has no [tool.replint.rules.{rule.rule_id}]"
         configured = policy.rule_policy(rule.rule_id, rule.default_policy)
         assert set(configured.zones) == set(rule.default_policy.zones), \
             rule.rule_id

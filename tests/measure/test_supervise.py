@@ -172,6 +172,42 @@ def test_backoff_is_exponential_and_capped():
     assert RetryPolicy(backoff_base_s=0.0).backoff_s(5) == 0.0
 
 
+class _SpawnRefusingContext:
+    """A multiprocessing context whose Process constructor fails.
+
+    Pipe() delegates to the real context so the test observes genuine
+    Connection objects; Process() raises before any child exists —
+    the exact mid-spawn-window edge the supervisor must clean up.
+    """
+
+    def __init__(self, real):
+        self._real = real
+        self.pipes = []
+
+    def Pipe(self, duplex=True):
+        ends = self._real.Pipe(duplex=duplex)
+        self.pipes.append(ends)
+        return ends
+
+    def Process(self, *args, **kwargs):
+        raise OSError("spawn refused (injected)")
+
+
+def test_spawn_failure_mid_window_closes_both_pipe_ends(monkeypatch):
+    # A Process() that fails between Pipe() and registration in the
+    # running table leaves nothing for the outer teardown to see; the
+    # spawn loop itself must close both ends before re-raising.
+    import multiprocessing
+
+    ctx = _SpawnRefusingContext(multiprocessing.get_context())
+    monkeypatch.setattr(multiprocessing, "get_context", lambda: ctx)
+    with pytest.raises(OSError, match="spawn refused"):
+        Supervisor(ok_runner, _jobs(2), workers=2).run()
+    assert len(ctx.pipes) == 1  # the raise stops the spawn loop
+    recv_end, send_end = ctx.pipes[0]
+    assert recv_end.closed and send_end.closed
+
+
 # ---------------------------------------------------------------------------
 # unit journal
 # ---------------------------------------------------------------------------
