@@ -16,6 +16,7 @@ import random
 import time
 
 from repro.analysis import backend
+from repro.units import seconds_to_ms
 from repro.analysis.aggregate import (
     box_by_pt,
     category_ttests,
@@ -157,9 +158,9 @@ def test_bench_analysis_backend(benchmark):
 
     print(f"\nanalysis pipeline over {n} records "
           f"({len(_PTS)} PTs x {_N_TARGETS} targets x 2 methods)")
-    print(f"  python fallback: {python_s * 1e3:7.1f} ms")
+    print(f"  python fallback: {seconds_to_ms(python_s):7.1f} ms")
     if numpy_s is not None:
-        print(f"  numpy backend:   {numpy_s * 1e3:7.1f} ms   "
+        print(f"  numpy backend:   {seconds_to_ms(numpy_s):7.1f} ms   "
               f"speedup {python_s / numpy_s:.2f}x")
         # The backend contract: identical results, not just close ones.
         assert numpy_out == python_out

@@ -38,6 +38,7 @@ from repro.simnet.network import FluidNetwork
 from repro.simnet.perfcounters import PerfCounters
 from repro.simnet.resource import Resource
 from repro.simnet.rng import substream
+from repro.units import seconds_to_ms
 
 _MBPS = 125_000.0  # bytes/second per Mbit/s
 
@@ -121,8 +122,8 @@ def test_perf_dense_surge_allocator_speedup(benchmark):
     ref_s, opt_s = benchmark.pedantic(run, rounds=1, iterations=1)
     speedup = ref_s / opt_s
     print(f"\ndense surge ({len(flows)} flows, {calls} reallocations):")
-    print(f"  reference: {ref_s * 1e3:8.1f} ms")
-    print(f"  optimized: {opt_s * 1e3:8.1f} ms   speedup: {speedup:.1f}x")
+    print(f"  reference: {seconds_to_ms(ref_s):8.1f} ms")
+    print(f"  optimized: {seconds_to_ms(opt_s):8.1f} ms   speedup: {speedup:.1f}x")
     print(counters.describe())
     assert counters.flows_per_class > 10.0  # collapsing engaged
     assert speedup >= 5.0, f"dense-surge speedup {speedup:.1f}x < 5x"
@@ -177,8 +178,8 @@ def test_perf_churn_storm_network(benchmark):
         run, rounds=1, iterations=1)
     speedup = ref_s / opt_s
     print(f"\nchurn storm (2400 flows, start/abort waves):")
-    print(f"  reference engine: {ref_s * 1e3:8.1f} ms")
-    print(f"  optimized engine: {opt_s * 1e3:8.1f} ms   speedup: {speedup:.1f}x")
+    print(f"  reference engine: {seconds_to_ms(ref_s):8.1f} ms")
+    print(f"  optimized engine: {seconds_to_ms(opt_s):8.1f} ms   speedup: {speedup:.1f}x")
     print(counters.describe())
     # Same workload, same completions: per-flow facts are bit-identical
     # across engines (shared per-class accounting + equal rate vectors).
@@ -246,9 +247,9 @@ def test_perf_warm_start_single_flow_churn(benchmark):
     warm_s, warm_counters, warm_rates = warm
     speedup = cold_s / warm_s
     print(f"\nwarm-start churn (150 classes, 300 single-flow deltas):")
-    print(f"  cold allocator: {cold_s * 1e3:8.1f} ms   "
+    print(f"  cold allocator: {seconds_to_ms(cold_s):8.1f} ms   "
           f"rounds run: {cold_counters.waterfill_rounds}")
-    print(f"  warm allocator: {warm_s * 1e3:8.1f} ms   "
+    print(f"  warm allocator: {seconds_to_ms(warm_s):8.1f} ms   "
           f"rounds run: {warm_counters.waterfill_rounds}   "
           f"replayed: {warm_counters.rounds_replayed}   speedup: "
           f"{speedup:.2f}x")

@@ -23,7 +23,12 @@ RES01 leaked writable handles (:mod:`repro.lint.protocol`), and the
 concurrency layer (:mod:`repro.lint.concurrency`): MP02 pickle-safety
 at process boundaries, MP03 fork hygiene (reset-dominated child
 state), RES02 Process/Connection lifecycle automata, SIG01
-signal-path safety. Zone
+signal-path safety; and the units layer (:mod:`repro.lint.units`):
+UNIT01 mixed-dimension arithmetic, UNIT02 dimension mismatches across
+call boundaries, UNIT03 bare magic-number conversions — an
+interprocedural dimensional analysis over the ``_s``/``_ms``/
+``_bytes``/``_bps`` suffix conventions and the :mod:`repro.units`
+helpers. Zone
 policy comes from ``[tool.replint]`` in ``pyproject.toml``
 (:mod:`repro.lint.policy`); per-line escapes are
 ``# replint: allow[RULE] -- justification``

@@ -316,18 +316,37 @@ def lint_paths(paths: Sequence[str | Path], policy: Policy, *,
     return list(result.diagnostics)
 
 
-def _git_changed_files(root: Path) -> Optional[frozenset[Path]]:
+def _git_changed_files(root: Path, base: str = "",
+                       ) -> Optional[frozenset[Path]]:
     """Python files git sees as modified or untracked under ``root``.
 
-    Returns None when git is unavailable or ``root`` is not a
-    checkout — the caller reports a usage error rather than silently
-    linting nothing.
+    Without ``base``, "changed" means uncommitted edits against HEAD
+    plus untracked files. With ``base`` (a ref like ``origin/main``),
+    it means everything that differs from ``git merge-base <base>
+    HEAD`` — exactly a PR's files — plus uncommitted and untracked
+    work.
+
+    Returns None when git is unavailable, ``root`` is not a checkout,
+    or ``base`` does not resolve — the caller reports a usage error
+    rather than silently linting nothing.
     """
     import subprocess
 
+    diff_from = "HEAD"
+    if base:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(root), "merge-base", base, "HEAD"],
+                capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        diff_from = proc.stdout.strip()
+
     files: set[Path] = set()
     for command in (
-            ["git", "-C", str(root), "diff", "--name-only", "HEAD",
+            ["git", "-C", str(root), "diff", "--name-only", diff_from,
              "--"],
             ["git", "-C", str(root), "ls-files", "--others",
              "--exclude-standard"]):
@@ -342,6 +361,50 @@ def _git_changed_files(root: Path) -> Optional[frozenset[Path]]:
             if line.endswith(".py"):
                 files.add((root / line).resolve())
     return frozenset(files)
+
+
+#: SARIF 2.1.0 schema location for ``--format=sarif``.
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_payload(diagnostics: Sequence[Diagnostic]) -> dict:
+    """The run rendered as a SARIF 2.1.0 log (GitHub code scanning).
+
+    Columns are 1-based in SARIF; replint's are 0-based (AST column
+    offsets), hence the ``+ 1``.
+    """
+    from repro.lint.rules import SUP01_SUMMARY
+
+    summaries = {rule.rule_id: rule.summary
+                 for rule in (*FILE_RULES, *PROJECT_RULES)}
+    summaries[SUP01] = SUP01_SUMMARY
+    summaries["SYNTAX"] = "file cannot be parsed"
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "replint",
+                "informationUri": "docs/static-analysis.md",
+                "rules": [
+                    {"id": rule_id,
+                     "shortDescription": {"text": summary}}
+                    for rule_id, summary in sorted(summaries.items())],
+            }},
+            "results": [
+                {"ruleId": d.rule,
+                 "level": "error",
+                 "message": {"text": d.message},
+                 "locations": [{"physicalLocation": {
+                     "artifactLocation": {
+                         "uri": Path(d.path).as_posix()},
+                     "region": {"startLine": max(d.line, 1),
+                                "startColumn": d.col + 1},
+                 }}]}
+                for d in diagnostics],
+        }],
+    }
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:
@@ -364,7 +427,8 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--config", type=Path, default=None,
                         help="pyproject.toml to read zone policy from "
                              "(default: nearest above the first path)")
-    parser.add_argument("--format", choices=("text", "json", "github"),
+    parser.add_argument("--format",
+                        choices=("text", "json", "github", "sarif"),
                         default="text",
                         help="diagnostic output format (default: text)")
     parser.add_argument("--stats", action="store_true",
@@ -377,10 +441,14 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                              ".replint-cache.json next to the config)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
-    parser.add_argument("--changed", action="store_true",
+    parser.add_argument("--changed", nargs="?", const="", default=None,
+                        metavar="BASE",
                         help="report only findings in files git "
                              "considers changed (uncommitted edits + "
-                             "untracked); the whole-program pass still "
+                             "untracked); with a base ref "
+                             "(--changed=origin/main), everything since "
+                             "'git merge-base BASE HEAD' — exactly a "
+                             "PR's files. The whole-program pass still "
                              "runs — through the warm cache — so "
                              "interprocedural verdicts stay correct")
     args = parser.parse_args(argv)
@@ -417,15 +485,18 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
             cache_path = policy.root / ".replint-cache.json"
 
     changed_files: Optional[frozenset[Path]] = None
-    if args.changed:
+    if args.changed is not None:
         root = (policy.root if policy.root is not None
                 else Path.cwd())
-        changed_files = _git_changed_files(root)
+        changed_files = _git_changed_files(root, args.changed)
         if changed_files is None:
-            print("replint: --changed requires a git checkout "
-                  "(git diff/ls-files failed)")
+            print("replint: --changed requires a git checkout and a "
+                  "resolvable base ref (git merge-base/diff/ls-files "
+                  "failed)")
             return 2
         if not changed_files:
+            if args.format == "sarif":
+                print(json.dumps(sarif_payload(()), indent=2))
             return 0
 
     result = run_lint(paths, policy, cache_path=cache_path)
@@ -434,7 +505,9 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         keep = {str(p) for p in changed_files}
         diagnostics = [d for d in diagnostics
                        if str(Path(d.path).resolve()) in keep]
-    if args.format == "json":
+    if args.format == "sarif":
+        print(json.dumps(sarif_payload(diagnostics), indent=2))
+    elif args.format == "json":
         print(json.dumps({
             "diagnostics": [
                 {"path": d.path, "line": d.line, "col": d.col,
@@ -449,10 +522,10 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         for diagnostic in diagnostics:
             print(diagnostic.format_github() if args.format == "github"
                   else diagnostic.format())
-    if args.stats and args.format != "json":
+    if args.stats and args.format not in ("json", "sarif"):
         print(result.stats.format())
     if diagnostics:
-        if args.format != "json":
+        if args.format not in ("json", "sarif"):
             print(f"replint: {len(diagnostics)} diagnostic"
                   f"{'s' if len(diagnostics) != 1 else ''}")
         return 1

@@ -23,6 +23,11 @@ from repro.lint.protocol import (
 )
 from repro.lint.rules import RULES, SUP01, ProjectRule, Rule
 from repro.lint.taint import EscapedOrderRule, TransitiveAmbientRule
+from repro.lint.units import (
+    CallBoundaryRule,
+    MagicConversionRule,
+    MixedDimensionRule,
+)
 
 #: Per-file rules, in reporting order. EXC01 is module-local (a
 #: handler either re-raises or it doesn't) even though it ships with
@@ -41,6 +46,9 @@ PROJECT_RULES: tuple[ProjectRule, ...] = (
     ForkHygieneRule(),
     ProcessLifecycleRule(),
     SignalPathRule(),
+    MixedDimensionRule(),
+    CallBoundaryRule(),
+    MagicConversionRule(),
 )
 
 #: Every rule id an ``allow[...]`` comment may name.

@@ -1,0 +1,1107 @@
+"""Interprocedural dimensional analysis (UNIT01/UNIT02/UNIT03).
+
+PTPerf's headline numbers are physical quantities — download times in
+seconds, TTFB, throughput in bytes/s — and the code base encodes its
+unit conventions by *name suffix* (``sim_time_s``, ``rate_bps``,
+``total_bytes``) plus the conversion helpers in :mod:`repro.units`. A
+silent seconds↔ms or bytes↔bits mix corrupts every figure downstream.
+This module machine-checks the convention: it infers a **dimension**
+for every expression and propagates it through assignments,
+arithmetic, and project call edges.
+
+The dimension lattice is flat::
+
+    time[s]  time[ms]  data[bytes]  data[bits]
+    rate[bytes/s]  rate[bits/s]  count  dimensionless
+              \\        |        /
+                    unknown
+
+``join`` of two different dimensions is ``unknown``; arithmetic
+composes (``data[bytes] ÷ time[s] → rate[bytes/s]``, ``data[bytes] ÷
+rate[bytes/s] → time[s]``, ``time[ms] × repro.units.MS → time[s]``).
+Dimensions come from four sources, in priority order:
+
+1. **name suffixes** — ``_s``/``_ms``/``_bytes``/``_bits``/``_bps``
+   (bytes per second, the repo convention)/``_count`` on variables,
+   parameters, attributes (which covers dataclass/``Record`` fields),
+   function names (the declared return dimension), and constant string
+   subscript keys (``row["duration_s"]``);
+2. the **:mod:`repro.units` table** — constants (``MB``, ``MS``,
+   ``MINUTE``) and helpers (``mbit``, ``seconds_to_ms``) carry exact
+   parameter/return dimensions;
+3. **local flow** — assignments, loop targets, containers (a list of
+   seconds is ``time[s]``; indexing preserves it);
+4. **interprocedural summaries** — a fixpoint assigns every project
+   function a return dimension (its name suffix if declared, else the
+   joined dimension of its ``return`` expressions), and call sites
+   substitute it. Each inferred value carries a **provenance chain**
+   (the DET03/RES02 pattern), so a diagnostic two hops from the root
+   cause renders ``via step -> fetch_elapsed -> elapsed_ms``.
+
+Three zone-policied rules ship on top:
+
+* **UNIT01** — mixed-dimension arithmetic/comparison (``budget_bytes -
+  elapsed_s``), including augmented and plain assignment onto a
+  unit-suffixed name.
+* **UNIT02** — a unit-dimensioned argument bound to a
+  differently-dimensioned parameter across any resolved call edge:
+  positional, keyword, dataclass field keywords, and parameter
+  *defaults* (``def f(timeout_ms=0.5 * MINUTE)``).
+* **UNIT03** — bare magic-number conversions (``* 1000.0``, ``/ 8``,
+  ``* 125_000``) applied to a dimensioned value where a
+  :mod:`repro.units` helper exists; conversions must be spelled
+  through ``repro.units`` to stay dimension-checkable.
+
+The analysis is conservative in the same direction as the call graph:
+``unknown`` never fires a rule, and mixed known/unknown propagation
+collapses to ``unknown`` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+import weakref
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.lint.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    _walk_function_body,
+)
+from repro.lint.policy import RulePolicy
+from repro.lint.rules import Finding, ProjectRule, _dotted
+from repro.lint.taint import _short
+
+# ---------------------------------------------------------------------------
+# the dimension lattice
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One lattice point: a kind and (for physical kinds) its unit."""
+
+    kind: str
+    unit: str = ""
+
+    @property
+    def physical(self) -> bool:
+        """Whether mixing this with another physical dim is an error."""
+        return self.kind in ("time", "data", "rate")
+
+    def label(self) -> str:
+        if self.kind == "scalar":
+            return "dimensionless"
+        if self.unit:
+            return f"{self.kind}[{self.unit}]"
+        return self.kind
+
+
+TIME_S = Dim("time", "s")
+TIME_MS = Dim("time", "ms")
+BYTES = Dim("data", "bytes")
+BITS = Dim("data", "bits")
+BYTES_PER_S = Dim("rate", "bytes/s")
+BITS_PER_S = Dim("rate", "bits/s")
+COUNT = Dim("count")
+SCALAR = Dim("scalar")
+UNKNOWN = Dim("unknown")
+#: The dimension of ``repro.units.MS`` (1e-3): multiplying a
+#: milliseconds value by it yields seconds.
+S_PER_MS = Dim("conv", "s/ms")
+
+#: Every lattice point, for property tests.
+ALL_DIMS: tuple[Dim, ...] = (TIME_S, TIME_MS, BYTES, BITS, BYTES_PER_S,
+                             BITS_PER_S, COUNT, SCALAR, UNKNOWN, S_PER_MS)
+
+
+def join(a: Dim, b: Dim) -> Dim:
+    """Least upper bound in the flat lattice."""
+    return a if a == b else UNKNOWN
+
+
+_MUL_TABLE = {
+    (BYTES_PER_S, TIME_S): BYTES,
+    (BITS_PER_S, TIME_S): BITS,
+}
+
+_DIV_TABLE = {
+    (BYTES, TIME_S): BYTES_PER_S,
+    (BITS, TIME_S): BITS_PER_S,
+    (BYTES, BYTES_PER_S): TIME_S,
+    (BITS, BITS_PER_S): TIME_S,
+    (TIME_S, S_PER_MS): TIME_MS,
+}
+
+
+def mul(a: Dim, b: Dim) -> Dim:
+    """Dimension of ``a * b``."""
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    for x, y in ((a, b), (b, a)):
+        if x == S_PER_MS:
+            # 5 * MS is five milliseconds expressed in seconds;
+            # x_ms * MS converts milliseconds to seconds.
+            if y == TIME_MS or y.kind in ("scalar", "count"):
+                return TIME_S
+            return UNKNOWN
+    if a.kind == "scalar":
+        return b
+    if b.kind == "scalar":
+        return a
+    if a.kind == "count" and b.kind == "count":
+        return COUNT
+    if a.kind == "count":
+        return b
+    if b.kind == "count":
+        return a
+    hit = _MUL_TABLE.get((a, b)) or _MUL_TABLE.get((b, a))
+    return hit if hit is not None else UNKNOWN
+
+
+def div(a: Dim, b: Dim) -> Dim:
+    """Dimension of ``a / b`` (and ``a // b``)."""
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if b.kind == "scalar":
+        return a
+    if b.kind == "count":
+        return SCALAR if a.kind == "count" else a
+    if a == b and a.physical:
+        return SCALAR
+    hit = _DIV_TABLE.get((a, b))
+    return hit if hit is not None else UNKNOWN
+
+
+def add_sub(a: Dim, b: Dim) -> tuple[Dim, bool]:
+    """Dimension of ``a + b`` / ``a - b`` and whether they conflict."""
+    if a == b:
+        return a, False
+    if a.physical and b.physical:
+        return UNKNOWN, True
+    if a.physical and b.kind in ("scalar", "count"):
+        return a, False
+    if b.physical and a.kind in ("scalar", "count"):
+        return b, False
+    if a.kind == "count" and b.kind == "scalar":
+        return COUNT, False
+    if b.kind == "count" and a.kind == "scalar":
+        return COUNT, False
+    return UNKNOWN, False
+
+
+# ---------------------------------------------------------------------------
+# dimension sources: name suffixes and the repro.units table
+# ---------------------------------------------------------------------------
+
+_SUFFIXES = {
+    "s": TIME_S, "sec": TIME_S, "secs": TIME_S, "seconds": TIME_S,
+    "ms": TIME_MS, "millis": TIME_MS, "milliseconds": TIME_MS,
+    "bytes": BYTES, "bits": BITS,
+    # Repo convention: rates are bytes per second (see repro/units.py).
+    "bps": BYTES_PER_S,
+    "count": COUNT, "counts": COUNT,
+}
+
+
+def parse_suffix(name: str) -> Optional[tuple[Dim, str]]:
+    """``(dimension, matched_suffix)`` a name's suffix declares, or None.
+
+    ``_per_s`` names are intensities (``hazard_per_s``), not times, and
+    ``from_bytes``-style constructor names do not return bytes — both
+    stay unknown.
+    """
+    parts = name.lower().split("_")
+    if len(parts) < 2 or not parts[-1]:
+        return None
+    dim = _SUFFIXES.get(parts[-1])
+    if dim is None or parts[-2] in ("per", "from"):
+        return None
+    return dim, parts[-1]
+
+
+def suffix_dim(name: str) -> Optional[Dim]:
+    hit = parse_suffix(name)
+    return hit[0] if hit is not None else None
+
+
+#: repro.units module-level constants (not resolvable through the call
+#: graph — plain ``NAME = literal`` assignments are not aliases).
+_UNITS_CONSTS = {
+    "repro.units.KB": BYTES,
+    "repro.units.MB": BYTES,
+    "repro.units.GB": BYTES,
+    "repro.units.MS": S_PER_MS,
+    "repro.units.MINUTE": TIME_S,
+    "repro.units.HOUR": TIME_S,
+    "repro.units.DAY": TIME_S,
+    "repro.units.WEEK": TIME_S,
+}
+
+#: repro.units helpers: parameter dimension -> return dimension. A
+#: SCALAR parameter means the helper expects a bare number — passing
+#: an already-dimensioned value is a double conversion (UNIT02).
+_UNITS_FUNCS = {
+    "repro.units.kbit": (SCALAR, BYTES_PER_S),
+    "repro.units.mbit": (SCALAR, BYTES_PER_S),
+    "repro.units.gbit": (SCALAR, BYTES_PER_S),
+    "repro.units.mbytes": (SCALAR, BYTES),
+    "repro.units.seconds_to_ms": (TIME_S, TIME_MS),
+    "repro.units.ms_to_seconds": (TIME_MS, TIME_S),
+    "repro.units.bits": (BITS, BYTES),
+}
+
+#: External/builtin calls whose result has the first argument's
+#: dimension (``abs(x_s)`` is still seconds; ``sum(xs_s)`` too —
+#: containers carry their element dimension).
+_PRESERVE_FIRST = frozenset({
+    "abs", "round", "float", "int", "sorted", "sum", "fsum", "fmean",
+    "mean", "median", "floor", "ceil", "fabs",
+})
+#: External calls whose result joins all argument dimensions.
+_PRESERVE_JOIN = frozenset({"min", "max"})
+#: Wall-clock reads return seconds (last path component of the raw
+#: call rendering; ``time.time`` is matched in full to avoid ``x.time()``).
+_CLOCK_TAILS = frozenset({"monotonic", "perf_counter", "process_time"})
+
+# ---------------------------------------------------------------------------
+# UNIT03: bare conversion literals
+# ---------------------------------------------------------------------------
+
+#: Literal factors that smell like unit conversions when applied to a
+#: dimensioned operand.
+_CONV_VALUES = frozenset({
+    1000, 1000000, 1000000000,          # s<->ms/us/ns, SI data prefixes
+    0.001, 0.000001,
+    8,                                   # bytes <-> bits
+    125, 125000, 125000000,              # bits/s -> bytes/s prefixes
+    1024, 1048576, 1073741824,           # binary prefixes (repo is SI)
+})
+
+
+def _is_conv_literal(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and \
+            isinstance(node.value, (int, float)) and \
+            not isinstance(node.value, bool) and \
+            node.value in _CONV_VALUES:
+        return float(node.value)
+    return None
+
+
+def _conversion_result(dim: Dim, value: float, is_div: bool) -> Dim:
+    """Semantic result of a flagged conversion, where modeled."""
+    if dim == TIME_S and not is_div and value == 1000:
+        return TIME_MS
+    if dim == TIME_MS and ((is_div and value == 1000) or
+                           (not is_div and value == 0.001)):
+        return TIME_S
+    if dim == BITS and is_div and value == 8:
+        return BYTES
+    if dim == BYTES and not is_div and value == 8:
+        return BITS
+    return UNKNOWN
+
+
+def _conversion_hint(dim: Dim, value: float, is_div: bool) -> str:
+    if dim == TIME_S and not is_div and value == 1000:
+        return "use repro.units.seconds_to_ms"
+    if dim == TIME_MS and ((is_div and value == 1000) or
+                           (not is_div and value == 0.001)):
+        return "use repro.units.ms_to_seconds"
+    if dim == BITS and is_div and value == 8:
+        return "use repro.units.bits"
+    if value in (125, 125000, 125000000):
+        return "use repro.units.kbit/mbit/gbit"
+    if value in (1000000, 1000000000) and dim.kind == "data":
+        return "use repro.units.MB/GB or mbytes"
+    return "spell the conversion through a repro.units helper"
+
+
+# ---------------------------------------------------------------------------
+# inferred values: dimension + provenance
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DimInfo:
+    """A dimension plus where it came from.
+
+    ``desc`` is a short human origin tag (``'timeout_ms'``, ``returned
+    by 'elapsed_ms' (repro.util.convert:3)``); ``chain`` is the call
+    chain (callee qnames, outermost first) the value flowed through.
+    """
+
+    dim: Dim
+    desc: str = ""
+    chain: tuple[str, ...] = ()
+
+
+_UNKNOWN_INFO = DimInfo(UNKNOWN)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A function's return dimension with provenance."""
+
+    dim: Dim
+    desc: str
+    chain: tuple[str, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# per-function abstract interpreter
+# ---------------------------------------------------------------------------
+
+_OP_WORDS = {
+    ast.Add: "addition", ast.Sub: "subtraction", ast.Mod: "modulo",
+}
+
+
+class _Evaluator:
+    """Forward dimension inference over one function body.
+
+    With ``collect`` set, UNIT01/02/03 candidate findings are appended
+    as ``(rule_id, Finding)`` tuples; without it the walk only computes
+    dimensions (the summary fixpoint path).
+    """
+
+    def __init__(self, analysis: "UnitsAnalysis", fn: FunctionInfo,
+                 collect: Optional[list[tuple[str, Finding]]] = None):
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.fn = fn
+        self.module: ModuleInfo = analysis.graph.modules[fn.module]
+        self.collect = collect
+        self.env: dict[str, DimInfo] = {}
+        self.returns: list[DimInfo] = []
+        self.saw_bare_return = False
+        self.is_generator = False
+        self._memo: dict[int, DimInfo] = {}
+        self._sites = {id(site.node): site for site in fn.calls}
+
+    # -- driving ---------------------------------------------------------
+
+    def run(self) -> None:
+        self._check_defaults()
+        for node in _walk_function_body(self.fn.node):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                self.is_generator = True
+            if isinstance(node, ast.Assign):
+                self._handle_assign(node)
+            elif isinstance(node, ast.AnnAssign):
+                if node.value is not None and \
+                        isinstance(node.target, ast.Name):
+                    self._bind(node.target.id, self.eval(node.value),
+                               node.value)
+            elif isinstance(node, ast.AugAssign):
+                self._handle_augassign(node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._handle_for(node)
+            elif isinstance(node, ast.Return):
+                if node.value is None or (
+                        isinstance(node.value, ast.Constant)
+                        and node.value.value is None):
+                    self.saw_bare_return = True
+                else:
+                    self.returns.append(self.eval(node.value))
+            elif isinstance(node, (ast.BinOp, ast.Compare, ast.Call,
+                                   ast.IfExp, ast.BoolOp)):
+                self.eval(node)
+
+    def _check_defaults(self) -> None:
+        """UNIT02 on parameter defaults (``def f(timeout_ms=MINUTE)``)."""
+        if self.collect is None:
+            return
+        args = self.fn.node.args
+        positional = [*args.posonlyargs, *args.args]
+        defaults = list(args.defaults)
+        pairs = list(zip(positional[len(positional) - len(defaults):],
+                         defaults))
+        pairs.extend((a, d) for a, d in zip(args.kwonlyargs,
+                                            args.kw_defaults)
+                     if d is not None)
+        for arg, default in pairs:
+            param_dim = suffix_dim(arg.arg)
+            if param_dim is None or not param_dim.physical:
+                continue
+            info = self.eval(default)
+            if info.dim.physical and info.dim != param_dim:
+                self._emit("UNIT02", default, (
+                    f"default for parameter '{arg.arg}' "
+                    f"({param_dim.label()}) is {info.dim.label()} "
+                    f"({self._provenance(info)}) — convert it through "
+                    f"repro.units"))
+
+    # -- statement handling ----------------------------------------------
+
+    def _handle_assign(self, node: ast.Assign) -> None:
+        info = self.eval(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, info, node.value)
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._check_target(target, info, node.value)
+
+    def _bind(self, name: str, info: DimInfo, value: ast.expr) -> None:
+        declared = suffix_dim(name)
+        if declared is not None:
+            # The suffix wins; a dimensioned value of a *different*
+            # dimension flowing in is a UNIT01 mismatch.
+            if declared.physical and info.dim.physical and \
+                    info.dim != declared:
+                self._emit("UNIT01", value, (
+                    f"assignment binds {info.dim.label()} "
+                    f"({self._provenance(info)}) to '{name}' which is "
+                    f"{declared.label()} by suffix — convert through "
+                    f"repro.units first"))
+            return
+        self.env[name] = info
+
+    def _check_target(self, target: ast.expr, info: DimInfo,
+                      value: ast.expr) -> None:
+        declared = self._target_dim(target)
+        if declared is not None and declared.physical and \
+                info.dim.physical and info.dim != declared:
+            name = target.attr if isinstance(target, ast.Attribute) \
+                else self._subscript_key(target) or "target"
+            self._emit("UNIT01", value, (
+                f"assignment binds {info.dim.label()} "
+                f"({self._provenance(info)}) to '{name}' which is "
+                f"{declared.label()} by suffix — convert through "
+                f"repro.units first"))
+
+    def _target_dim(self, target: ast.expr) -> Optional[Dim]:
+        if isinstance(target, ast.Attribute):
+            return suffix_dim(target.attr)
+        if isinstance(target, ast.Subscript):
+            key = self._subscript_key(target)
+            return suffix_dim(key) if key is not None else None
+        return None
+
+    @staticmethod
+    def _subscript_key(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Subscript) and \
+                isinstance(target.slice, ast.Constant) and \
+                isinstance(target.slice.value, str):
+            return target.slice.value
+        return None
+
+    def _handle_augassign(self, node: ast.AugAssign) -> None:
+        value = self.eval(node.value)
+        target = self._eval_target(node.target)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            _, conflict = add_sub(target.dim, value.dim)
+            if conflict:
+                word = _OP_WORDS[type(node.op)]
+                self._emit("UNIT01", node, (
+                    f"augmented {word} mixes {target.dim.label()} "
+                    f"({self._provenance(target)}) with "
+                    f"{value.dim.label()} ({self._provenance(value)}) — "
+                    f"convert one side through repro.units"))
+
+    def _eval_target(self, target: ast.expr) -> DimInfo:
+        """Dimension of an assignment target read as a value."""
+        if isinstance(target, ast.Name):
+            hit = parse_suffix(target.id)
+            if hit is not None:
+                return DimInfo(hit[0], f"'{target.id}'")
+            return self.env.get(target.id, _UNKNOWN_INFO)
+        dim = self._target_dim(target)
+        if dim is not None:
+            name = target.attr if isinstance(target, ast.Attribute) \
+                else repr(self._subscript_key(target))
+            return DimInfo(dim, f"'{name}'")
+        return _UNKNOWN_INFO
+
+    def _handle_for(self, node: ast.For | ast.AsyncFor) -> None:
+        info = self.eval(node.iter)
+        if isinstance(node.target, ast.Name):
+            if self._is_named_call(node.iter, "range"):
+                self._bind(node.target.id, DimInfo(COUNT, "range(...)"),
+                           node.iter)
+            else:
+                # Containers carry their element dimension.
+                self._bind(node.target.id, info, node.iter)
+        elif isinstance(node.target, ast.Tuple) and \
+                self._is_named_call(node.iter, "enumerate") and \
+                len(node.target.elts) == 2 and \
+                all(isinstance(e, ast.Name) for e in node.target.elts):
+            index, value = node.target.elts
+            assert isinstance(index, ast.Name)
+            assert isinstance(value, ast.Name)
+            self._bind(index.id, DimInfo(COUNT, "enumerate(...)"),
+                       node.iter)
+            inner = (self.eval(node.iter.args[0])
+                     if isinstance(node.iter, ast.Call) and node.iter.args
+                     else _UNKNOWN_INFO)
+            self._bind(value.id, inner, node.iter)
+
+    @staticmethod
+    def _is_named_call(node: ast.expr, name: str) -> bool:
+        return isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Name) and node.func.id == name
+
+    # -- expression evaluation -------------------------------------------
+
+    def eval(self, node: ast.expr) -> DimInfo:
+        cached = self._memo.get(id(node))
+        if cached is not None:
+            return cached
+        info = self._eval_inner(node)
+        self._memo[id(node)] = info
+        return info
+
+    def _eval_inner(self, node: ast.expr) -> DimInfo:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and \
+                    not isinstance(node.value, bool):
+                return DimInfo(SCALAR, repr(node.value))
+            return _UNKNOWN_INFO
+        if isinstance(node, ast.Name):
+            return self._eval_name(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand)
+            if isinstance(node.op, (ast.UAdd, ast.USub)):
+                return inner
+            return _UNKNOWN_INFO
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self._joined((self.eval(node.body),
+                                 self.eval(node.orelse)))
+        if isinstance(node, ast.BoolOp):
+            return self._joined([self.eval(v) for v in node.values])
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return self._joined([self.eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.eval(key)
+            return self._joined([self.eval(v) for v in node.values])
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp)):
+            self._bind_comprehension(node.generators)
+            return self.eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            self._bind_comprehension(node.generators)
+            self.eval(node.key)
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            info = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self._bind(node.target.id, info, node.value)
+            return info
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        return _UNKNOWN_INFO
+
+    def _joined(self, infos: list[DimInfo] | tuple[DimInfo, ...],
+                ) -> DimInfo:
+        if not infos:
+            return _UNKNOWN_INFO
+        result = infos[0]
+        for info in infos[1:]:
+            joined = join(result.dim, info.dim)
+            if joined != result.dim:
+                result = DimInfo(joined)
+        return result
+
+    def _eval_name(self, node: ast.Name) -> DimInfo:
+        hit = parse_suffix(node.id)
+        if hit is not None:
+            return DimInfo(hit[0], f"'{node.id}'")
+        local = self.env.get(node.id)
+        if local is not None:
+            return local
+        const = self._units_const(node.id)
+        if const is not None:
+            return const
+        return _UNKNOWN_INFO
+
+    def _eval_attribute(self, node: ast.Attribute) -> DimInfo:
+        dotted = _dotted(node)
+        if dotted is not None:
+            const = self._units_const(dotted)
+            if const is not None:
+                return const
+        hit = parse_suffix(node.attr)
+        if hit is not None:
+            return DimInfo(hit[0], f"'{node.attr}'")
+        return _UNKNOWN_INFO
+
+    def _units_const(self, dotted: str) -> Optional[DimInfo]:
+        """A reference to a repro.units constant, via any import alias."""
+        candidates = []
+        head, _, rest = dotted.partition(".")
+        target = self.module.imports.get(head)
+        if target is not None:
+            candidates.append(target + ("." + rest if rest else ""))
+        if self.module.name == "repro.units" and not rest:
+            candidates.append(f"repro.units.{head}")
+        for full in candidates:
+            dim = _UNITS_CONSTS.get(full)
+            if dim is not None:
+                return DimInfo(dim, full)
+        return None
+
+    def _eval_subscript(self, node: ast.Subscript) -> DimInfo:
+        if not isinstance(node.slice, ast.Slice):
+            self.eval(node.slice)
+        key = self._subscript_key(node)
+        if key is not None:
+            hit = parse_suffix(key)
+            if hit is not None:
+                return DimInfo(hit[0], f"key '{key}'")
+            return _UNKNOWN_INFO
+        # Indexing/slicing a container preserves the element dimension.
+        return self.eval(node.value)
+
+    def _bind_comprehension(self, generators: list[ast.comprehension],
+                            ) -> None:
+        for comp in generators:
+            info = self.eval(comp.iter)
+            if isinstance(comp.target, ast.Name):
+                if self._is_named_call(comp.iter, "range"):
+                    info = DimInfo(COUNT, "range(...)")
+                self._bind(comp.target.id, info, comp.iter)
+            for condition in comp.ifs:
+                self.eval(condition)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _eval_binop(self, node: ast.BinOp) -> DimInfo:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            dim, conflict = add_sub(left.dim, right.dim)
+            if conflict:
+                word = _OP_WORDS[type(node.op)]
+                self._emit("UNIT01", node, (
+                    f"{word} mixes {left.dim.label()} "
+                    f"({self._provenance(left)}) with "
+                    f"{right.dim.label()} ({self._provenance(right)}) — "
+                    f"convert one side through repro.units"))
+            keep = left if left.dim == dim else right
+            if dim == keep.dim:
+                return DimInfo(dim, keep.desc, keep.chain)
+            return DimInfo(dim)
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+            return self._eval_muldiv(node, left, right)
+        if isinstance(node.op, ast.Mod):
+            dim, conflict = add_sub(left.dim, right.dim)
+            if conflict:
+                self._emit("UNIT01", node, (
+                    f"modulo mixes {left.dim.label()} "
+                    f"({self._provenance(left)}) with "
+                    f"{right.dim.label()} ({self._provenance(right)}) — "
+                    f"convert one side through repro.units"))
+            return DimInfo(left.dim, left.desc, left.chain)
+        return _UNKNOWN_INFO
+
+    def _eval_muldiv(self, node: ast.BinOp, left: DimInfo,
+                     right: DimInfo) -> DimInfo:
+        is_div = isinstance(node.op, (ast.Div, ast.FloorDiv))
+        conv = self._check_conversion(node, left, right, is_div)
+        if conv is not None:
+            return conv
+        if is_div:
+            dim = div(left.dim, right.dim)
+        else:
+            dim = mul(left.dim, right.dim)
+        for side in (left, right):
+            if dim == side.dim and side.dim != UNKNOWN:
+                return DimInfo(dim, side.desc, side.chain)
+        return DimInfo(dim)
+
+    def _check_conversion(self, node: ast.BinOp, left: DimInfo,
+                          right: DimInfo, is_div: bool,
+                          ) -> Optional[DimInfo]:
+        """UNIT03: a bare conversion literal on a dimensioned operand."""
+        pairs = [(node.right, right, left)]
+        if not is_div:
+            pairs.append((node.left, left, right))
+        for const_node, _const_info, other in pairs:
+            value = _is_conv_literal(const_node)
+            if value is None or not other.dim.physical:
+                continue
+            hint = _conversion_hint(other.dim, value, is_div)
+            op = "/" if is_div else "*"
+            self._emit("UNIT03", node, (
+                f"bare conversion '{op} {const_node.value!r}' applied "
+                f"to {other.dim.label()} ({self._provenance(other)}) — "
+                f"{hint}"))
+            return DimInfo(_conversion_result(other.dim, value, is_div))
+        return None
+
+    def _eval_compare(self, node: ast.Compare) -> DimInfo:
+        infos = [self.eval(node.left)]
+        infos.extend(self.eval(comp) for comp in node.comparators)
+        for a, b in zip(infos, infos[1:]):
+            if a.dim.physical and b.dim.physical and a.dim != b.dim:
+                self._emit("UNIT01", node, (
+                    f"comparison mixes {a.dim.label()} "
+                    f"({self._provenance(a)}) with {b.dim.label()} "
+                    f"({self._provenance(b)}) — convert one side "
+                    f"through repro.units"))
+        return DimInfo(SCALAR)
+
+    # -- calls ------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> DimInfo:
+        arg_infos = [self.eval(arg) for arg in node.args]
+        kw_infos = [(kw.arg, self.eval(kw.value), kw.value)
+                    for kw in node.keywords]
+        site = self._sites.get(id(node))
+        callee = site.callee if site is not None else None
+        if callee is not None and callee in _UNITS_FUNCS:
+            return self._units_call(node, callee, arg_infos)
+        if callee is not None and callee in self.graph.functions:
+            return self._project_call(node, callee, arg_infos, kw_infos)
+        # Class construction without a user ctor (dataclasses/Records):
+        # keyword arguments bind to suffixed field names.
+        target = self._static_target(node)
+        if target is not None and target in self.graph.classes:
+            self._check_fields(self.graph.classes[target], kw_infos)
+            return _UNKNOWN_INFO
+        return self._foreign_call(node, site, arg_infos)
+
+    def _static_target(self, node: ast.Call) -> Optional[str]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return None
+        return self.graph.resolve(self.module.name, dotted)
+
+    def _units_call(self, node: ast.Call, callee: str,
+                    arg_infos: list[DimInfo]) -> DimInfo:
+        param_dim, return_dim = _UNITS_FUNCS[callee]
+        short = callee.rsplit(".", 1)[-1]
+        if node.args and arg_infos:
+            info = arg_infos[0]
+            if info.dim.physical and info.dim != param_dim:
+                expect = ("a bare number" if param_dim == SCALAR
+                          else param_dim.label())
+                self._emit("UNIT02", node.args[0], (
+                    f"argument to repro.units.{short}() is "
+                    f"{info.dim.label()} ({self._provenance(info)}) but "
+                    f"the helper expects {expect} — this double-converts"))
+        return DimInfo(return_dim, f"{short}(...)", ())
+
+    def _project_call(self, node: ast.Call, callee: str,
+                      arg_infos: list[DimInfo],
+                      kw_infos: list[tuple[Optional[str], DimInfo,
+                                           ast.expr]]) -> DimInfo:
+        callee_fn = self.graph.functions[callee]
+        params = self._callee_params(callee_fn)
+        param_names = [p.arg for p in params]
+        # Positional arguments (stop at the first *star).
+        for index, (arg, info) in enumerate(zip(node.args, arg_infos)):
+            if isinstance(arg, ast.Starred):
+                break
+            if index >= len(params):
+                break
+            self._check_bound(arg, info, params[index].arg, callee_fn)
+        for name, info, value in kw_infos:
+            if name is not None and name in param_names:
+                self._check_bound(value, info, name, callee_fn)
+        summary = self.analysis.summaries.get(callee)
+        if summary is None:
+            return self._name_fallback(callee_fn.name)
+        return DimInfo(summary.dim, summary.desc,
+                       (callee,) + summary.chain)
+
+    @staticmethod
+    def _callee_params(callee_fn: FunctionInfo) -> list[ast.arg]:
+        args = callee_fn.node.args
+        params = [*args.posonlyargs, *args.args]
+        if callee_fn.cls is not None and params and not any(
+                isinstance(d, ast.Name) and d.id == "staticmethod"
+                for d in callee_fn.node.decorator_list):
+            params = params[1:]
+        return params + list(args.kwonlyargs)
+
+    def _check_bound(self, arg: ast.expr, info: DimInfo, param: str,
+                     callee_fn: FunctionInfo) -> None:
+        param_dim = suffix_dim(param)
+        if param_dim is None or not param_dim.physical:
+            return
+        if not info.dim.physical or info.dim == param_dim:
+            return
+        short = _short(callee_fn.qname, callee_fn.module)
+        self._emit("UNIT02", arg, (
+            f"argument is {info.dim.label()} "
+            f"({self._provenance(info)}) but parameter '{param}' of "
+            f"'{short}' ({callee_fn.module}:{callee_fn.line}) is "
+            f"{param_dim.label()} — convert at the call boundary with "
+            f"repro.units"))
+
+    def _check_fields(self, class_info: ClassInfo,
+                      kw_infos: list[tuple[Optional[str], DimInfo,
+                                           ast.expr]]) -> None:
+        fields = self.analysis.class_fields(class_info)
+        for name, info, value in kw_infos:
+            if name is None or name not in fields:
+                continue
+            field_dim = suffix_dim(name)
+            if field_dim is None or not field_dim.physical:
+                continue
+            if not info.dim.physical or info.dim == field_dim:
+                continue
+            short = _short(class_info.qname, class_info.module)
+            self._emit("UNIT02", value, (
+                f"argument is {info.dim.label()} "
+                f"({self._provenance(info)}) but field '{name}' of "
+                f"'{short}' ({class_info.module}:"
+                f"{class_info.node.lineno}) is {field_dim.label()} — "
+                f"convert at the construction site with repro.units"))
+
+    def _foreign_call(self, node: ast.Call, site,
+                      arg_infos: list[DimInfo]) -> DimInfo:
+        func = node.func
+        raw = site.raw if site is not None else (_dotted(func) or "")
+        tail = raw.rsplit(".", 1)[-1]
+        if raw == "time.time" or tail in _CLOCK_TAILS:
+            return DimInfo(TIME_S, f"{raw}()")
+        if tail in _PRESERVE_FIRST and node.args:
+            first = arg_infos[0]
+            return DimInfo(first.dim, first.desc, first.chain)
+        if tail in _PRESERVE_JOIN and node.args:
+            if len(arg_infos) == 1:
+                return arg_infos[0]
+            return self._joined(arg_infos)
+        if isinstance(func, ast.Attribute) and func.attr in ("get", "pop") \
+                and node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            hit = parse_suffix(node.args[0].value)
+            if hit is not None:
+                return DimInfo(hit[0], f"key '{node.args[0].value}'")
+        # A method named with a unit suffix declares its return
+        # dimension, resolved or not (``trace.elapsed_ms()``).
+        return self._name_fallback(tail)
+
+    @staticmethod
+    def _name_fallback(name: str) -> DimInfo:
+        hit = parse_suffix(name)
+        if hit is not None:
+            return DimInfo(hit[0], f"'{name}()'")
+        return _UNKNOWN_INFO
+
+    # -- reporting --------------------------------------------------------
+
+    def _provenance(self, info: DimInfo) -> str:
+        desc = info.desc or "inferred"
+        if info.chain:
+            links = " -> ".join(
+                (_short(link, self.graph.functions[link].module)
+                 if link in self.graph.functions else link)
+                for link in info.chain)
+            caller = _short(self.fn.qname, self.fn.module)
+            return f"{desc} via {caller} -> {links}"
+        return desc
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if self.collect is None:
+            return
+        line = getattr(node, "lineno", None)
+        if line is None:
+            return
+        end = getattr(node, "end_lineno", None) or line
+        col = getattr(node, "col_offset", 0)
+        self.collect.append((rule_id, Finding(line, end, col, message)))
+
+
+# ---------------------------------------------------------------------------
+# whole-program analysis: summaries fixpoint + findings
+# ---------------------------------------------------------------------------
+
+
+class UnitsAnalysis:
+    """Shared dimension analysis for the three UNIT rules.
+
+    Built once per call graph (the rules share it through a weak
+    cache): a fixpoint assigns return-dimension summaries, then a
+    single reporting pass over every function collects zone-independent
+    candidate findings; each rule filters by its own zone policy.
+    """
+
+    #: Fixpoint safety bound; each summary moves at most twice
+    #: (absent -> known -> poisoned), so this is never the binding
+    #: constraint in practice.
+    _MAX_ROUNDS = 50
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.summaries: dict[str, Summary] = {}
+        self._declared: set[str] = set()
+        self._poisoned: set[str] = set()
+        self._fields: dict[str, frozenset[str]] = {}
+        self.findings: list[tuple[str, str, Finding]] = []
+        self._seed_declared()
+        self._fixpoint()
+        self._collect_findings()
+
+    # -- summaries --------------------------------------------------------
+
+    def _seed_declared(self) -> None:
+        for qname in sorted(self.graph.functions):
+            fn = self.graph.functions[qname]
+            hit = parse_suffix(fn.name)
+            if hit is None:
+                continue
+            dim, sfx = hit
+            self._declared.add(qname)
+            self.summaries[qname] = Summary(
+                dim=dim,
+                desc=(f"declared by suffix '_{sfx}' on "
+                      f"'{_short(qname, fn.module)}' "
+                      f"({fn.module}:{fn.line})"))
+
+    def _fixpoint(self) -> None:
+        for _ in range(self._MAX_ROUNDS):
+            changed = False
+            for qname in sorted(self.graph.functions):
+                if qname in self._declared or qname in self._poisoned:
+                    continue
+                new = self._body_summary(self.graph.functions[qname])
+                old = self.summaries.get(qname)
+                if new is None and old is None:
+                    continue
+                if new is not None and old is None:
+                    self.summaries[qname] = new
+                    changed = True
+                elif new is not None and old is not None and \
+                        new.dim == old.dim:
+                    continue
+                else:
+                    # Oscillation (known -> different known, or lost
+                    # info): collapse to unknown permanently.
+                    self.summaries.pop(qname, None)
+                    self._poisoned.add(qname)
+                    changed = True
+            if not changed:
+                return
+
+    def _body_summary(self, fn: FunctionInfo) -> Optional[Summary]:
+        evaluator = _Evaluator(self, fn, collect=None)
+        evaluator.run()
+        if evaluator.is_generator or not evaluator.returns:
+            return None
+        first = evaluator.returns[0]
+        if first.dim == UNKNOWN or not all(
+                info.dim == first.dim for info in evaluator.returns):
+            return None
+        return Summary(dim=first.dim, desc=first.desc, chain=first.chain)
+
+    # -- class fields ------------------------------------------------------
+
+    def class_fields(self, class_info: ClassInfo) -> frozenset[str]:
+        """Annotated field names of a class and its project bases."""
+        cached = self._fields.get(class_info.qname)
+        if cached is not None:
+            return cached
+        names: set[str] = set()
+        stack = [class_info.qname]
+        seen: set[str] = set()
+        while stack:
+            qname = stack.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.graph.classes.get(qname)
+            if info is None:
+                continue
+            for stmt in info.node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name):
+                    names.add(stmt.target.id)
+            stack.extend(info.resolved_bases)
+        result = frozenset(names)
+        self._fields[class_info.qname] = result
+        return result
+
+    # -- findings ----------------------------------------------------------
+
+    def _collect_findings(self) -> None:
+        for qname in sorted(self.graph.functions):
+            fn = self.graph.functions[qname]
+            collected: list[tuple[str, Finding]] = []
+            evaluator = _Evaluator(self, fn, collect=collected)
+            evaluator.run()
+            for rule_id, finding in collected:
+                self.findings.append((rule_id, fn.module, finding))
+
+    def findings_for(self, rule_id: str,
+                     ) -> Iterator[tuple[str, Finding]]:
+        for found_rule, module, finding in self.findings:
+            if found_rule == rule_id:
+                yield module, finding
+
+
+_ANALYSES: "weakref.WeakKeyDictionary[CallGraph, UnitsAnalysis]" = \
+    weakref.WeakKeyDictionary()
+
+
+def units_analysis(graph: CallGraph) -> UnitsAnalysis:
+    """The (cached) analysis for one built call graph."""
+    analysis = _ANALYSES.get(graph)
+    if analysis is None:
+        analysis = UnitsAnalysis(graph)
+        _ANALYSES[graph] = analysis
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# the three rules
+# ---------------------------------------------------------------------------
+
+_UNIT_ZONES = ("repro.simnet", "repro.tor", "repro.analysis",
+               "repro.measure", "repro.web", "repro.pts", "repro.core",
+               "repro.units")
+
+
+class _UnitsRule(ProjectRule):
+    """Shared zone-filtering shell over :class:`UnitsAnalysis`."""
+
+    def check_project(self, graph: CallGraph, rule_policy: RulePolicy,
+                      ) -> Iterator[tuple[str, Finding]]:
+        analysis = units_analysis(graph)
+        for module, finding in analysis.findings_for(self.rule_id):
+            if rule_policy.applies_to(module):
+                yield module, finding
+
+
+class MixedDimensionRule(_UnitsRule):
+    rule_id = "UNIT01"
+    summary = ("arithmetic/comparison mixes two different physical "
+               "dimensions (seconds vs ms, bytes vs bits, ...)")
+    default_policy = RulePolicy(zones=_UNIT_ZONES)
+
+
+class CallBoundaryRule(_UnitsRule):
+    rule_id = "UNIT02"
+    summary = ("dimensioned argument bound to a differently-"
+               "dimensioned parameter across a resolved call edge")
+    default_policy = RulePolicy(zones=_UNIT_ZONES)
+
+
+class MagicConversionRule(_UnitsRule):
+    rule_id = "UNIT03"
+    summary = ("bare magic-number unit conversion where a repro.units "
+               "helper exists")
+    default_policy = RulePolicy(
+        zones=_UNIT_ZONES + ("benchmarks",),
+        # repro.units *implements* the conversions.
+        exempt=("repro.units",))

@@ -48,3 +48,18 @@ def mbytes(n: float) -> float:
 def seconds_to_ms(t: float) -> float:
     """Convert seconds to milliseconds (used by the speed-index report)."""
     return t * 1000.0
+
+
+def ms_to_seconds(t: float) -> float:
+    """Convert milliseconds to seconds.
+
+    Implemented as a division so call sites that previously divided by
+    1000 stay bit-identical (``x / 1000.0`` and ``x * 1e-3`` differ in
+    the last ulp for some inputs).
+    """
+    return t / 1000.0
+
+
+def bits(n: float) -> float:
+    """A number of bits expressed in bytes (``bits(8) == 1.0``)."""
+    return n / 8.0

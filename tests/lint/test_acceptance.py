@@ -209,6 +209,44 @@ def seeded_tree(tmp_path):
         async def poll_loop(interval):
             time.sleep(interval)
     """)
+    # UNIT02: a milliseconds value produced two hops below the zone
+    # (step -> fetch_elapsed -> elapsed_ms) flows into a seconds
+    # parameter. UNIT01/UNIT03: mixed-dimension arithmetic and a bare
+    # conversion literal inside the zone itself.
+    _write(tmp_path, "src/repro/util/convert.py", """\
+        def elapsed_ms(start_s, end_s):
+            return (end_s - start_s) * 1000.0
+    """)
+    _write(tmp_path, "src/repro/util/fetchtime.py", """\
+        from repro.util.convert import elapsed_ms
+
+        def fetch_elapsed(trace):
+            return elapsed_ms(trace.start_s, trace.end_s)
+    """)
+    _write(tmp_path, "src/repro/simnet/sched.py", """\
+        from repro.util.fetchtime import fetch_elapsed
+
+        def wait_for(kernel, timeout_s):
+            kernel.advance(timeout_s)
+
+        def step(kernel, trace):
+            wait_for(kernel, fetch_elapsed(trace))
+
+        def overdraft(budget_bytes, spent_bits):
+            return budget_bytes - spent_bits
+
+        def to_ms(duration_s):
+            return duration_s * 1000.0
+    """)
+    # The fixture's own repro.units module: exempt from UNIT03 (it
+    # implements the conversions) and the fix target for the plants.
+    _write(tmp_path, "src/repro/units.py", """\
+        def seconds_to_ms(t_s):
+            return t_s * 1000.0
+
+        def ms_to_seconds(t_ms):
+            return t_ms / 1000.0
+    """)
     _write(tmp_path, "pyproject.toml", '[tool.replint]\npaths = ["src"]\n')
     return tmp_path
 
@@ -266,7 +304,18 @@ def test_seeded_violations_exact_diagnostics(seeded_tree, capsys):
         "reaches time.time() via step -> stamp -> read_clock "
         "(repro.util.clock:4) — inject simulated time / a seeded "
         "random.Random instead of ambient state",
-        "replint: 10 diagnostics",
+        f"{src}/repro/simnet/sched.py:7:21: UNIT02 argument is time[ms] "
+        "(declared by suffix '_ms' on 'elapsed_ms' (repro.util.convert:1) "
+        "via step -> fetch_elapsed -> elapsed_ms) but parameter "
+        "'timeout_s' of 'wait_for' (repro.simnet.sched:3) is time[s] — "
+        "convert at the call boundary with repro.units",
+        f"{src}/repro/simnet/sched.py:10:11: UNIT01 subtraction mixes "
+        "data[bytes] ('budget_bytes') with data[bits] ('spent_bits') — "
+        "convert one side through repro.units",
+        f"{src}/repro/simnet/sched.py:13:11: UNIT03 bare conversion "
+        "'* 1000.0' applied to time[s] ('duration_s') — use "
+        "repro.units.seconds_to_ms",
+        "replint: 13 diagnostics",
     ]
     assert out.splitlines() == expected
 
@@ -280,10 +329,17 @@ def test_seeded_violations_are_individually_suppressible(seeded_tree,
         "    os.replace(tmp, final)  "
         "# replint: allow[ATOM01] -- test fixture accepts torn output")
     publish.write_text(source)
+    sched = seeded_tree / "src/repro/simnet/sched.py"
+    source = sched.read_text().replace(
+        "    return budget_bytes - spent_bits",
+        "    return budget_bytes - spent_bits  "
+        "# replint: allow[UNIT01] -- fixture mixes units deliberately")
+    sched.write_text(source)
     code, out = _run_lint(seeded_tree, capsys)
     assert code == 1
     assert "ATOM01" not in out
-    assert "replint: 9 diagnostics" in out
+    assert "UNIT01" not in out
+    assert "replint: 11 diagnostics" in out
 
 
 def test_seeded_violations_json_format(seeded_tree, capsys):
@@ -292,11 +348,15 @@ def test_seeded_violations_json_format(seeded_tree, capsys):
     payload = json.loads(out)
     assert [d["rule"] for d in payload["diagnostics"]] == \
         ["RES02", "EXC01", "SIG01", "RES01", "ATOM01", "DET04",
-         "MP02", "MP03", "ASY01", "DET03"]
-    det03 = payload["diagnostics"][-1]
+         "MP02", "MP03", "ASY01", "DET03", "UNIT02", "UNIT01", "UNIT03"]
+    det03 = payload["diagnostics"][9]
     assert det03["path"].endswith("src/repro/simnet/engine.py")
     assert (det03["line"], det03["col"]) == (4, 11)
-    assert payload["stats"]["files"] == 23
+    unit02 = payload["diagnostics"][10]
+    assert unit02["path"].endswith("src/repro/simnet/sched.py")
+    assert (unit02["line"], unit02["col"]) == (7, 21)
+    assert "via step -> fetch_elapsed -> elapsed_ms" in unit02["message"]
+    assert payload["stats"]["files"] == 27
     assert "callgraph:" in payload["stats"]["callgraph"]
 
 
@@ -305,15 +365,51 @@ def test_seeded_violations_github_format(seeded_tree, capsys):
     assert code == 1
     lines = out.splitlines()
     annotations = [l for l in lines if l.startswith("::error ")]
-    assert len(annotations) == 10
+    assert len(annotations) == 13
     engine = seeded_tree / "src/repro/simnet/engine.py"
     expected_file = str(engine).replace(":", "%3A").replace(",", "%2C")
-    det03 = annotations[-1]
+    det03 = annotations[9]
     assert det03.startswith(f"::error file={expected_file},line=4,col=11,"
                             "title=replint DET03::")
     # Workflow-command payloads must stay single-line; the em-dash
     # message text rides through unescaped but newline-free.
     assert "\n" not in det03 and "%0A" not in det03
+    sched = seeded_tree / "src/repro/simnet/sched.py"
+    sched_file = str(sched).replace(":", "%3A").replace(",", "%2C")
+    unit02 = annotations[10]
+    assert unit02.startswith(f"::error file={sched_file},line=7,col=21,"
+                             "title=replint UNIT02::")
+    assert "via step -> fetch_elapsed -> elapsed_ms" in unit02
+
+
+def test_seeded_violations_sarif_format(seeded_tree, capsys):
+    """The SARIF log carries the interprocedural unit verdicts with the
+    full provenance chain and 1-based columns intact."""
+    code, out = _run_lint(seeded_tree, capsys, "--format=sarif")
+    assert code == 1
+    payload = json.loads(out)
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "replint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    for rule_id in ("UNIT01", "UNIT02", "UNIT03", "SUP01", "SYNTAX"):
+        assert rule_id in rule_ids
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == \
+        ["RES02", "EXC01", "SIG01", "RES01", "ATOM01", "DET04",
+         "MP02", "MP03", "ASY01", "DET03", "UNIT02", "UNIT01", "UNIT03"]
+    unit02 = results[10]
+    assert unit02["level"] == "error"
+    # The two-hop provenance chain survives into code scanning: the
+    # ms value originates two resolved call edges below the caller.
+    assert ("via step -> fetch_elapsed -> elapsed_ms"
+            in unit02["message"]["text"])
+    location = unit02["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith(
+        "src/repro/simnet/sched.py")
+    region = location["region"]
+    # SARIF columns are 1-based; replint's are 0-based (col 21 -> 22).
+    assert (region["startLine"], region["startColumn"]) == (7, 22)
 
 
 def test_fixed_tree_is_clean(seeded_tree, capsys):
@@ -415,6 +511,26 @@ def test_fixed_tree_is_clean(seeded_tree, capsys):
 
         async def poll_loop(interval):
             await asyncio.sleep(interval)
+    """)
+    # UNIT01/02/03: convert at the boundaries through repro.units — the
+    # ms result is converted before the seconds parameter, both sides of
+    # the subtraction carry the same dimension, and the bare * 1000.0
+    # goes through the named helper.
+    _write(seeded_tree, "src/repro/simnet/sched.py", """\
+        from repro.units import ms_to_seconds, seconds_to_ms
+        from repro.util.fetchtime import fetch_elapsed
+
+        def wait_for(kernel, timeout_s):
+            kernel.advance(timeout_s)
+
+        def step(kernel, trace):
+            wait_for(kernel, ms_to_seconds(fetch_elapsed(trace)))
+
+        def overdraft(budget_bytes, spent_bytes):
+            return budget_bytes - spent_bytes
+
+        def to_ms(duration_s):
+            return seconds_to_ms(duration_s)
     """)
     code, out = _run_lint(seeded_tree, capsys)
     assert (code, out) == (0, "")

@@ -17,6 +17,18 @@ def test_size_and_time_constants():
     assert units.seconds_to_ms(1.5) == 1500.0
 
 
+def test_ms_round_trip():
+    assert units.ms_to_seconds(1500.0) == 1.5
+    assert units.ms_to_seconds(units.seconds_to_ms(0.125)) == 0.125
+    # Division, not * 1e-3: bit-identical with legacy x / 1000.0 sites.
+    assert units.ms_to_seconds(0.1) == 0.1 / 1000.0
+
+
+def test_bits_to_bytes():
+    assert units.bits(8) == 1.0
+    assert units.bits(512 * 8) == 512.0
+
+
 def test_error_hierarchy():
     for exc_type in (errors.SimulationError, errors.TransferAborted,
                      errors.ProcessTimeout, errors.ChannelFailed,
